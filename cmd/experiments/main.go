@@ -1,0 +1,181 @@
+// Command experiments regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	experiments [-run name] [-quick] [-csv dir]
+//
+// Names: fig2, fig3, fig4, fig6 (the paper's figures), ablation-beta,
+// ablation-memorize, ablation-sendcwnd, ablation-holemode (design-choice
+// ablations), ext-threshold, ext-reorder, ext-robustness, ext-door
+// (extensions), or all (default). -quick substitutes shortened simulation
+// windows (useful for smoke runs); the default reproduces the paper's
+// 60-second steady-state measurement protocol. With -csv the raw
+// per-point data are also written as CSV files into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tcppr/internal/experiments"
+)
+
+func main() {
+	runName := flag.String("run", "all", "experiment to run: fig2|fig3|fig4|fig6|ablation-beta|ablation-memorize|ablation-sendcwnd|ablation-holemode|ext-door|ext-reorder|ext-robustness|ext-threshold|all")
+	quick := flag.Bool("quick", false, "use shortened simulation windows")
+	csvDir := flag.String("csv", "", "directory to write per-point CSV files into")
+	flag.Parse()
+
+	d := experiments.Full
+	if *quick {
+		d = experiments.Quick
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	selected := func(name string) bool {
+		return *runName == "all" || *runName == name
+	}
+	ran := false
+
+	if selected("fig2") {
+		ran = true
+		for _, topology := range []string{"dumbbell", "parkinglot"} {
+			start := time.Now()
+			res := experiments.RunFig2(experiments.Fig2Config{Topology: topology, Durations: d})
+			printTable(res.Table(), start)
+			writeCSV(*csvDir, "fig2_"+topology+".csv", res.PerFlowTable())
+		}
+	}
+	if selected("fig3") {
+		ran = true
+		for _, topology := range []string{"dumbbell", "parkinglot"} {
+			start := time.Now()
+			res := experiments.RunFig3(experiments.Fig3Config{Topology: topology, Durations: d})
+			printTable(res.MeanTable(), start)
+			writeCSV(*csvDir, "fig3_"+topology+".csv", res.Table())
+		}
+	}
+	if selected("fig4") {
+		ran = true
+		for _, topology := range []string{"dumbbell", "parkinglot"} {
+			start := time.Now()
+			res := experiments.RunFig4(experiments.Fig4Config{Topology: topology, Durations: d})
+			printTable(res.Table(), start)
+			writeCSV(*csvDir, "fig4_"+topology+".csv", res.Table())
+		}
+	}
+	if selected("fig6") {
+		ran = true
+		start := time.Now()
+		res := experiments.RunFig6(experiments.Fig6Config{Durations: d})
+		for _, t := range res.Table() {
+			printTable(t, start)
+		}
+		for i, t := range res.Table() {
+			writeCSV(*csvDir, fmt.Sprintf("fig6_delay%d.csv", i), t)
+		}
+	}
+	if selected("ablation-beta") {
+		ran = true
+		start := time.Now()
+		res := experiments.RunAblationBeta(experiments.AblationBetaConfig{Durations: d})
+		printTable(res.Table(), start)
+		writeCSV(*csvDir, "ablation_beta.csv", res.Table())
+	}
+	if selected("ablation-memorize") {
+		ran = true
+		start := time.Now()
+		res := experiments.RunAblationMemorize(d)
+		printTable(res.Table("Ablation: memorize list (single flow, lossy dumbbell)"), start)
+	}
+	if selected("ablation-sendcwnd") {
+		ran = true
+		start := time.Now()
+		res := experiments.RunAblationSendCwnd(d)
+		printTable(res.Table("Ablation: halve from send-time cwnd vs current cwnd"), start)
+	}
+	if selected("ablation-holemode") {
+		ran = true
+		start := time.Now()
+		printTable(experiments.RunAblationHoleMode(d), start)
+	}
+	if selected("ext-threshold") {
+		ran = true
+		start := time.Now()
+		res := experiments.RunThresholdSweep(d)
+		printTable(res, start)
+		writeCSV(*csvDir, "ext_threshold.csv", res)
+	}
+	if selected("ext-reorder") {
+		ran = true
+		start := time.Now()
+		res := experiments.ReorderTable(experiments.RunReorderProfile(d, 0))
+		printTable(res, start)
+		writeCSV(*csvDir, "ext_reorder.csv", res)
+	}
+	if selected("ext-robustness") {
+		ran = true
+		start := time.Now()
+		res := experiments.RunRobustness(d)
+		printTable(res.Table(), start)
+		writeCSV(*csvDir, "ext_robustness.csv", res.Table())
+	}
+	if selected("ext-door") {
+		ran = true
+		start := time.Now()
+		res := experiments.RunExtComparison(d)
+		for _, t := range res.Table() {
+			t.Title = "Extension: Fig 6 protocol set + TCP-DOOR + Eifel (10 ms links)"
+			printTable(t, start)
+		}
+		for _, t := range res.Table() {
+			writeCSV(*csvDir, "ext_door.csv", t)
+		}
+	}
+
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *runName))
+	}
+}
+
+func printTable(t *experiments.Table, start time.Time) {
+	if err := t.Fprint(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(%s in %.1fs)\n\n", firstWord(t.Title), time.Since(start).Seconds())
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " :"); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func writeCSV(dir, name string, t *experiments.Table) {
+	if dir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command tcpsim runs one ad-hoc simulation scenario and reports per-flow
+// goodput. It is the quickest way to poke at the simulator:
+//
+//	tcpsim -topology dumbbell -protocols TCP-PR,TCP-SACK -flows 8 -duration 60s
+//	tcpsim -topology multipath -protocols TCP-PR -eps 0 -delay 60ms
+//
+// Topologies: dumbbell (n flows share one bottleneck), parkinglot (Fig 1
+// with cross traffic), multipath (Fig 5, one flow per protocol, ε-routed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/stats"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+	"tcppr/internal/workload"
+)
+
+func main() {
+	topology := flag.String("topology", "dumbbell", "dumbbell|parkinglot|multipath")
+	protocols := flag.String("protocols", "TCP-PR,TCP-SACK", "comma-separated protocol cycle for the flows")
+	flows := flag.Int("flows", 8, "number of flows (dumbbell/parkinglot)")
+	duration := flag.Duration("duration", 60*time.Second, "measurement window")
+	warm := flag.Duration("warm", 30*time.Second, "warm-up before measuring")
+	eps := flag.Float64("eps", 0, "multipath epsilon (multipath topology)")
+	delay := flag.Duration("delay", 10*time.Millisecond, "per-link delay (multipath topology)")
+	alpha := flag.Float64("alpha", 0.995, "TCP-PR alpha")
+	beta := flag.Float64("beta", 3.0, "TCP-PR beta")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	protos := strings.Split(*protocols, ",")
+	for i := range protos {
+		protos[i] = strings.TrimSpace(protos[i])
+		if !workload.Known(protos[i]) {
+			fmt.Fprintf(os.Stderr, "tcpsim: unknown protocol %q (known: %s)\n",
+				protos[i], strings.Join(workload.AllProtocols(), ", "))
+			os.Exit(1)
+		}
+	}
+	pr := workload.PRParams{Alpha: *alpha, Beta: *beta}
+
+	switch *topology {
+	case "dumbbell", "parkinglot":
+		runShared(*topology, protos, *flows, pr, *warm, *duration)
+	case "multipath":
+		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration)
+	default:
+		fmt.Fprintf(os.Stderr, "tcpsim: unknown topology %q\n", *topology)
+		os.Exit(1)
+	}
+}
+
+func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration) {
+	sched := sim.NewScheduler()
+	var flowsOut []*workload.Flow
+	starts := workload.StaggeredStarts(n, 0, 5*time.Second)
+
+	switch topology {
+	case "dumbbell":
+		d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: n})
+		for i := 0; i < n; i++ {
+			f := tcp.NewFlow(d.Net, i+1, d.Src(i), d.Dst(i),
+				routing.Static{Path: d.FwdPath(i)}, routing.Static{Path: d.RevPath(i)})
+			flowsOut = append(flowsOut, workload.NewFlow(f, protos[i%len(protos)], pr, starts[i]))
+		}
+	case "parkinglot":
+		p := topo.NewParkingLot(sched, n, 0)
+		for i := 0; i < n; i++ {
+			f := tcp.NewFlow(p.Net, i+1, p.Src(i), p.Dst(i),
+				routing.Static{Path: p.MainFwd(i)}, routing.Static{Path: p.MainRev(i)})
+			flowsOut = append(flowsOut, workload.NewFlow(f, protos[i%len(protos)], pr, starts[i]))
+		}
+		for i, cp := range topo.CrossPairs() {
+			f := tcp.NewFlow(p.Net, 10_000+i, p.Net.Node(cp.Src), p.Net.Node(cp.Dst),
+				routing.Static{Path: p.CrossFwd(cp)}, routing.Static{Path: p.CrossRev(cp)})
+			workload.NewFlow(f, workload.TCPSACK, pr, 0)
+		}
+	}
+
+	measureAndReport(sched, flowsOut, warm, dur)
+}
+
+func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration) {
+	// One flow at a time per protocol, matching the paper's Fig 6 setup.
+	fmt.Printf("multipath: eps=%g delay=%v (one flow per protocol, separate runs)\n\n", eps, delay)
+	for _, proto := range protos {
+		sched := sim.NewScheduler()
+		m := topo.NewMultipath(sched, 3, delay)
+		fwd := routing.NewEpsilon(m.FwdPaths, eps, sim.NewRand(sim.SplitSeed(seed, 1)))
+		rev := routing.NewEpsilon(m.RevPaths, eps, sim.NewRand(sim.SplitSeed(seed, 2)))
+		f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst, fwd, rev)
+		wf := workload.NewFlow(f, proto, pr, 0)
+		wf.MarkWindow(sched, warm, warm+dur)
+		sched.RunUntil(warm + dur)
+		mbps := stats.Mbps(stats.Throughput(wf.WindowBytes(), dur))
+		fmt.Printf("%-10s %7.2f Mbps (retx %d of %d sent)\n", proto, mbps, f.DataRetx(), f.DataSent())
+	}
+}
+
+func measureAndReport(sched *sim.Scheduler, flows []*workload.Flow, warm, dur time.Duration) {
+	for _, f := range flows {
+		f.MarkWindow(sched, warm, warm+dur)
+	}
+	sched.RunUntil(warm + dur)
+
+	bytes := make([]float64, len(flows))
+	for i, f := range flows {
+		bytes[i] = float64(f.WindowBytes())
+	}
+	norm := stats.Normalized(bytes)
+	fmt.Printf("%-4s %-10s %10s %10s\n", "flow", "protocol", "mbps", "normalized")
+	for i, f := range flows {
+		fmt.Printf("%-4d %-10s %10.2f %10.3f\n", f.ID, f.Protocol,
+			stats.Mbps(stats.Throughput(f.WindowBytes(), dur)), norm[i])
+	}
+	labels, series := workload.ByProtocol(flows, dur)
+	fmt.Println()
+	for _, l := range labels {
+		fmt.Printf("%-10s mean %7.2f Mbps over %d flows\n", l, stats.Mbps(stats.Mean(series[l])), len(series[l]))
+	}
+}

@@ -1,0 +1,74 @@
+// Fairness: the paper's §4 question — can TCP-PR be deployed alongside
+// standard TCP without starving it (or being starved)?
+//
+// Eight TCP-PR and eight TCP-SACK flows share one 15 Mbps bottleneck.
+// After convergence, each flow's throughput is normalized by the mean;
+// a fair outcome puts every flow near 1.0.
+//
+//	go run ./examples/fairness
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/stats"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+	"tcppr/internal/workload"
+)
+
+func main() {
+	const (
+		n       = 16
+		warm    = 60 * time.Second
+		measure = 60 * time.Second
+	)
+
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: n})
+	starts := workload.StaggeredStarts(n, 0, 5*time.Second)
+
+	flows := make([]*workload.Flow, 0, n)
+	for i := 0; i < n; i++ {
+		proto := workload.TCPPR
+		if i%2 == 1 {
+			proto = workload.TCPSACK
+		}
+		f := tcp.NewFlow(d.Net, i+1, d.Src(i), d.Dst(i),
+			routing.Static{Path: d.FwdPath(i)}, routing.Static{Path: d.RevPath(i)})
+		flows = append(flows, workload.NewFlow(f, proto, workload.PRParams{}, starts[i]))
+	}
+	for _, f := range flows {
+		f.MarkWindow(sched, warm, warm+measure)
+	}
+	sched.RunUntil(warm + measure)
+
+	bytes := make([]float64, n)
+	for i, f := range flows {
+		bytes[i] = float64(f.WindowBytes())
+	}
+	norm := stats.Normalized(bytes)
+
+	fmt.Printf("%d flows over a 15 Mbps dumbbell, last %v measured:\n\n", n, measure)
+	fmt.Printf("%-4s %-9s %8s  %s\n", "flow", "protocol", "norm", "")
+	for i, f := range flows {
+		bar := strings.Repeat("#", int(norm[i]*20+0.5))
+		fmt.Printf("%-4d %-9s %8.3f  %s\n", f.ID, f.Protocol, norm[i], bar)
+	}
+
+	byProto := map[string][]float64{}
+	for i, f := range flows {
+		byProto[f.Protocol] = append(byProto[f.Protocol], norm[i])
+	}
+	fmt.Println()
+	for _, p := range []string{workload.TCPPR, workload.TCPSACK} {
+		fmt.Printf("%-9s mean normalized %6.3f   CoV %6.3f\n",
+			p, stats.Mean(byProto[p]), stats.CoV(byProto[p]))
+	}
+	fmt.Printf("\nJain fairness index across all flows: %.3f (1.0 = perfectly fair)\n",
+		stats.JainIndex(bytes))
+}

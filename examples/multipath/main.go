@@ -1,0 +1,57 @@
+// Multipath: the paper's headline scenario. A single bulk transfer runs
+// over three disjoint paths (2, 3, and 4 hops of 10 Mbps each) with
+// per-packet load balancing — every packet may take a different path, so
+// arrivals are persistently reordered in both directions.
+//
+// Standard TCP reads the resulting duplicate ACKs as losses and collapses;
+// TCP-PR, detecting losses purely with timers, aggregates all three paths.
+//
+//	go run ./examples/multipath
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/stats"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+	"tcppr/internal/workload"
+)
+
+func main() {
+	const (
+		warm    = 30 * time.Second
+		measure = 30 * time.Second
+	)
+
+	fmt.Println("Three disjoint 10 Mbps paths, per-packet multipath routing (eps = 0).")
+	fmt.Println("Aggregate capacity is ~30 Mbps — if the sender can stomach the reordering.")
+	fmt.Println()
+	fmt.Printf("%-10s %12s %16s %12s\n", "sender", "goodput", "spurious retx", "reordered")
+
+	for _, proto := range []string{workload.TCPPR, workload.TCPSACK, workload.NewReno, workload.TDFR} {
+		sched := sim.NewScheduler()
+		m := topo.NewMultipath(sched, 3, 10*time.Millisecond)
+
+		// eps = 0: all paths equally likely, chosen independently per
+		// packet (data AND acknowledgments).
+		fwd := routing.NewEpsilon(m.FwdPaths, 0, sim.NewRand(sim.SplitSeed(7, 1)))
+		rev := routing.NewEpsilon(m.RevPaths, 0, sim.NewRand(sim.SplitSeed(7, 2)))
+
+		f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst, fwd, rev)
+		wf := workload.NewFlow(f, proto, workload.PRParams{}, 0)
+		wf.MarkWindow(sched, warm, warm+measure)
+		sched.RunUntil(warm + measure)
+
+		mbps := stats.Mbps(stats.Throughput(wf.WindowBytes(), measure))
+		fmt.Printf("%-10s %9.2f Mbps %11d/%d %12d\n",
+			proto, mbps, f.DataRetx(), f.DataSent(), f.Receiver().Reordered)
+	}
+
+	fmt.Println()
+	fmt.Println("TCP-PR sustains near the 30 Mbps aggregate; the duplicate-ACK-based")
+	fmt.Println("senders spend the link on spurious retransmissions instead.")
+}

@@ -1,0 +1,86 @@
+// Webtraffic: long-lived TCP-PR and TCP-SACK transfers competing against
+// bursty web-like background traffic (Pareto-sized short transfers with
+// think times). Short flows live in slow start and slam the queue in
+// bursts — a harsher fairness environment than the smooth FTP cross
+// traffic of the paper's parking lot.
+//
+//	go run ./examples/webtraffic
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/stats"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+	"tcppr/internal/workload"
+)
+
+func main() {
+	const (
+		longFlows = 4 // 2 TCP-PR + 2 TCP-SACK
+		webHosts  = 4 // on/off sources sharing the bottleneck
+		warm      = 30 * time.Second
+		measure   = 60 * time.Second
+	)
+
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: longFlows + webHosts})
+
+	// Long-lived foreground flows.
+	var flows []*workload.Flow
+	starts := workload.StaggeredStarts(longFlows, 0, 2*time.Second)
+	for i := 0; i < longFlows; i++ {
+		proto := workload.TCPPR
+		if i%2 == 1 {
+			proto = workload.TCPSACK
+		}
+		f := tcp.NewFlow(d.Net, i+1, d.Src(i), d.Dst(i),
+			routing.Static{Path: d.FwdPath(i)}, routing.Static{Path: d.RevPath(i)})
+		flows = append(flows, workload.NewFlow(f, proto, workload.PRParams{}, starts[i]))
+	}
+
+	// Web-like background: each source runs back-to-back Pareto-sized
+	// transfers with exponential think times.
+	var webs []*workload.OnOffSource
+	for i := 0; i < webHosts; i++ {
+		h := longFlows + i
+		src := workload.NewOnOffSource(d.Net, 100_000*(i+1),
+			d.Src(h), d.Dst(h),
+			routing.Static{Path: d.FwdPath(h)}, routing.Static{Path: d.RevPath(h)},
+			workload.OnOffConfig{MeanSizePkts: 30, MeanThink: 200 * time.Millisecond},
+			sim.NewRand(sim.SplitSeed(99, int64(i))))
+		src.Start(0)
+		webs = append(webs, src)
+	}
+
+	for _, f := range flows {
+		f.MarkWindow(sched, warm, warm+measure)
+	}
+	sched.RunUntil(warm + measure)
+
+	fmt.Printf("Foreground flows over %v (web background: %d sources):\n\n", measure, webHosts)
+	bytes := make([]float64, len(flows))
+	for i, f := range flows {
+		bytes[i] = float64(f.WindowBytes())
+	}
+	norm := stats.Normalized(bytes)
+	for i, f := range flows {
+		fmt.Printf("  flow %d %-9s %6.2f Mbps  normalized %5.3f\n",
+			f.ID, f.Protocol, stats.Mbps(stats.Throughput(f.WindowBytes(), measure)), norm[i])
+	}
+
+	var pages int
+	var webBytes int64
+	for _, w := range webs {
+		pages += w.Transfers
+		webBytes += w.BytesDelivered
+	}
+	fmt.Printf("\nbackground: %d transfers completed, %.1f MB total (%.2f Mbps average)\n",
+		pages, float64(webBytes)/1e6,
+		stats.Mbps(stats.Throughput(webBytes, warm+measure)))
+	fmt.Printf("bottleneck loss rate: %.2f%%\n", 100*d.Bottleneck.Stats().DropRate())
+}

@@ -1,0 +1,3 @@
+module tcppr
+
+go 1.22

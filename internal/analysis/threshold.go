@@ -1,0 +1,168 @@
+// Package analysis studies TCP-PR's loss-detection threshold offline —
+// the question the paper defers to its technical report [5]: how should
+// α and β be chosen so that mxrtt = β·ewrtt is "only surpassed when a
+// packet has actually been lost"?
+//
+// Given the (send time, acknowledgment time) pairs observed by a real
+// simulated flow, Replay re-runs the ewrtt estimator with candidate
+// parameters and reports how often a delivered packet would have been
+// falsely declared dropped (its ACK arrived later than send+mxrtt), along
+// with the detection headroom distribution. Sweeping β then exposes the
+// false-positive/ detection-latency trade-off directly.
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"tcppr/internal/core"
+	"tcppr/internal/sim"
+	"tcppr/internal/trace"
+)
+
+// Sample is one delivered packet's timing as seen by the sender.
+type Sample struct {
+	Seq    int64
+	SentAt sim.Time
+	AckAt  sim.Time
+}
+
+// RTT returns the sample's measured round-trip time.
+func (s Sample) RTT() time.Duration { return s.AckAt - s.SentAt }
+
+// ExtractSamples pairs first transmissions with the first arriving ACK
+// covering them from a recorded trace. Retransmitted sequences are skipped
+// entirely (their timing is ambiguous, exactly as Karn's rule argues).
+func ExtractSamples(rec *trace.Recorder) []Sample {
+	firstSend := make(map[int64]sim.Time)
+	retxed := make(map[int64]bool)
+	var acks []trace.Event
+	for _, e := range rec.Events {
+		switch e.Kind {
+		case trace.DataSent:
+			if e.Retx {
+				retxed[e.Seq] = true
+			} else if _, dup := firstSend[e.Seq]; !dup {
+				firstSend[e.Seq] = e.At
+			}
+		case trace.AckRecv:
+			acks = append(acks, e)
+		}
+	}
+	seqs := make([]int64, 0, len(firstSend))
+	for seq := range firstSend {
+		if !retxed[seq] {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	// ACK arrivals can be reordered, so the raw Cum series is not
+	// monotone. Build the monotone acknowledgment frontier: for each new
+	// maximum of Cum, the earliest arrival time it was reached.
+	type frontier struct {
+		cum int64
+		at  sim.Time
+	}
+	var front []frontier
+	maxCum := int64(-1)
+	for _, a := range acks {
+		if a.Cum > maxCum {
+			maxCum = a.Cum
+			front = append(front, frontier{cum: a.Cum, at: a.At})
+		}
+	}
+
+	var out []Sample
+	fi := 0
+	for _, seq := range seqs {
+		for fi < len(front) && front[fi].cum <= seq {
+			fi++
+		}
+		if fi == len(front) {
+			break
+		}
+		out = append(out, Sample{Seq: seq, SentAt: firstSend[seq], AckAt: front[fi].at})
+	}
+	return out
+}
+
+// Result summarizes one replay.
+type Result struct {
+	Alpha, Beta float64
+	// Samples is the number of delivered packets evaluated.
+	Samples int
+	// FalseDrops counts delivered packets whose ACK arrived after
+	// send + mxrtt (TCP-PR would have spuriously retransmitted them).
+	FalseDrops int
+	// MeanHeadroom is the mean of (mxrtt − RTT) across samples: the
+	// detection latency a real loss would incur beyond its RTT.
+	MeanHeadroom time.Duration
+	// MinHeadroom is the smallest margin observed (negative values are
+	// the false drops).
+	MinHeadroom time.Duration
+}
+
+// FalseDropRate returns FalseDrops/Samples.
+func (r Result) FalseDropRate() float64 {
+	if r.Samples == 0 {
+		return 0
+	}
+	return float64(r.FalseDrops) / float64(r.Samples)
+}
+
+// Replay runs the ewrtt estimator over the samples in ACK-arrival order
+// with the given parameters and evaluates each packet against the
+// threshold in force when it was sent.
+func Replay(samples []Sample, alpha, beta float64, cwndHint float64) Result {
+	res := Result{Alpha: alpha, Beta: beta}
+	if len(samples) == 0 {
+		return res
+	}
+	if cwndHint < 1 {
+		cwndHint = 1
+	}
+	// Process in ACK order (estimator updates happen at ACK arrival).
+	byAck := append([]Sample(nil), samples...)
+	sort.Slice(byAck, func(i, j int) bool { return byAck[i].AckAt < byAck[j].AckAt })
+
+	var ewrtt time.Duration
+	decay := core.NewtonRoot(alpha, cwndHint, 2)
+	var sumHeadroom time.Duration
+	minHeadroom := time.Duration(1<<62 - 1)
+
+	for _, s := range byAck {
+		mxrtt := time.Duration(beta * float64(ewrtt))
+		if ewrtt == 0 {
+			mxrtt = 3 * time.Second // pre-sample initial threshold
+		}
+		res.Samples++
+		headroom := mxrtt - s.RTT()
+		if headroom < 0 {
+			res.FalseDrops++
+		}
+		sumHeadroom += headroom
+		if headroom < minHeadroom {
+			minHeadroom = headroom
+		}
+		// Estimator update, formula (1).
+		decayed := time.Duration(float64(ewrtt) * decay)
+		if s.RTT() > decayed {
+			ewrtt = s.RTT()
+		} else {
+			ewrtt = decayed
+		}
+	}
+	res.MeanHeadroom = sumHeadroom / time.Duration(res.Samples)
+	res.MinHeadroom = minHeadroom
+	return res
+}
+
+// SweepBeta replays the samples across a β range with fixed α.
+func SweepBeta(samples []Sample, alpha float64, betas []float64, cwndHint float64) []Result {
+	out := make([]Result, 0, len(betas))
+	for _, b := range betas {
+		out = append(out, Replay(samples, alpha, b, cwndHint))
+	}
+	return out
+}

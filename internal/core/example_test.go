@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"tcppr/internal/core"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+)
+
+// Example wires a TCP-PR sender to a hand-rolled environment and drives
+// one round trip, showing the ewrtt/mxrtt estimators at work.
+func Example() {
+	sched := sim.NewScheduler()
+	env := tcp.SenderEnv{
+		Sched:    sched,
+		Transmit: func(seg tcp.Seg) bool { return true },
+	}
+	s := core.New(env, core.Config{Alpha: 0.995, Beta: 3})
+
+	s.Start()
+	sched.RunUntil(80 * time.Millisecond)
+	s.OnAck(tcp.Ack{CumAck: 1, EchoSeq: 0}) // 80 ms round trip
+
+	fmt.Printf("cwnd=%.0f mode=%v\n", s.Cwnd(), s.Mode())
+	fmt.Printf("ewrtt=%v mxrtt=%v\n", s.Ewrtt(), s.Mxrtt())
+	// Output:
+	// cwnd=2 mode=slow-start
+	// ewrtt=80ms mxrtt=240ms
+}
+
+// ExampleNewtonRoot reproduces the paper's kernel-note computation of
+// α^(1/cwnd) with two Newton iterations.
+func ExampleNewtonRoot() {
+	fmt.Printf("%.6f\n", core.NewtonRoot(0.995, 10, 2))
+	// Output:
+	// 0.999499
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/tcp"
+)
+
+func TestPRMaxBurstPacesWindowReopenings(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), Config{MaxBurst: 2})
+	s.Start()
+	h.take()
+	h.sched.RunUntil(50 * time.Millisecond)
+	// Ack enough packets in one jump to open several slots at once.
+	s.OnAck(cum(1))
+	h.take() // 2 sent (cwnd 2)
+	h.sched.RunUntil(100 * time.Millisecond)
+	s.OnAck(cum(3)) // cwnd 4: wants to send 4
+	if got := len(h.take()); got != 2 {
+		t.Fatalf("burst of %d sent immediately, want MaxBurst=2", got)
+	}
+	// The remainder arrives shortly after via the pacing timer.
+	h.sched.RunUntil(200 * time.Millisecond)
+	if got := len(h.take()); got != 2 {
+		t.Errorf("paced remainder = %d, want 2", got)
+	}
+}
+
+func TestPRMaxBurstDisabled(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), Config{MaxBurst: -1})
+	s.Start()
+	h.take()
+	h.sched.RunUntil(50 * time.Millisecond)
+	s.OnAck(cum(1))
+	h.take()
+	h.sched.RunUntil(100 * time.Millisecond)
+	s.OnAck(cum(3))
+	if got := len(h.take()); got != 4 {
+		t.Errorf("unpaced sender sent %d, want the full window opening of 4", got)
+	}
+}
+
+func TestPRFullClockReleasesThroughHole(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), Config{Hole: HoleFullClock, MaxBurst: -1})
+	s.Start()
+	h.take()
+	h.sched.RunUntil(50 * time.Millisecond)
+	s.OnAck(cum(1))
+	h.take() // cwnd 2, seqs 1,2 outstanding
+	// Duplicates (hole at 1): each releases one new segment.
+	s.OnAck(tcp.Ack{CumAck: 1, EchoSeq: 2})
+	if got := len(h.take()); got != 1 {
+		t.Fatalf("first duplicate released %d segments, want 1", got)
+	}
+	s.OnAck(tcp.Ack{CumAck: 1, EchoSeq: 3})
+	if got := len(h.take()); got != 1 {
+		t.Fatalf("second duplicate released %d, want 1", got)
+	}
+	// In freeze mode, duplicates release nothing.
+	h2 := newHarness()
+	s2 := New(h2.env(), Config{Hole: HoleFreeze, MaxBurst: -1})
+	s2.Start()
+	h2.take()
+	h2.sched.RunUntil(50 * time.Millisecond)
+	s2.OnAck(cum(1))
+	h2.take()
+	s2.OnAck(tcp.Ack{CumAck: 1, EchoSeq: 2})
+	if got := len(h2.take()); got != 0 {
+		t.Errorf("freeze-mode sender released %d segments on a duplicate, want 0", got)
+	}
+}
+
+func TestPRDisableMemorizeAblation(t *testing.T) {
+	// An 8-packet window is lost in silence. With the memorize list the
+	// burst causes ONE halving; with it disabled, every sequentially
+	// detected drop halves again.
+	run := func(disable bool) uint64 {
+		h := newHarness()
+		s := New(h.env(), Config{InitialCwnd: 8, DisableMemorize: disable, MaxBurst: -1})
+		s.Start()
+		h.take()
+		h.sched.RunUntil(30 * time.Second)
+		return s.Halvings
+	}
+	with, without := run(false), run(true)
+	// With memorize, only the first drop of the burst plus losses of the
+	// retransmission itself count; without it, every packet of the burst
+	// halves too.
+	if without <= with {
+		t.Errorf("memorize disabled gave %d halvings, enabled %d; want strictly more without", without, with)
+	}
+	if with > 3 {
+		t.Errorf("memorize enabled: Halvings = %d, want <= 3 (burst absorbed)", with)
+	}
+}
+
+func TestPRHalveFromCurrentCwndAblation(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), Config{HalveFromCurrentCwnd: true, MaxBurst: -1})
+	s.Start()
+	h.take()
+	h.sched.RunUntil(50 * time.Millisecond)
+	s.OnAck(cum(1)) // cwnd 2; seqs 1,2 sent with cwndAtSend 2
+	h.take()
+	// Grow the window further before the drop is detected.
+	h.sched.RunUntil(60 * time.Millisecond)
+	s.OnAck(cum(2)) // cwnd 3
+	h.take()
+	h.sched.RunUntil(70 * time.Millisecond)
+	s.OnAck(cum(3)) // cwnd 4
+	h.take()
+	cur := s.Cwnd()
+	// Next outstanding packet times out; halving must use the *current*
+	// window, not the (smaller) send-time one.
+	h.sched.RunUntil(400 * time.Millisecond)
+	if s.Halvings == 0 {
+		t.Fatal("no halving occurred")
+	}
+	if want := cur / 2; s.Cwnd() < want-1 {
+		t.Errorf("cwnd = %v after halve-from-current, want about %v", s.Cwnd(), want)
+	}
+}
+
+func TestPRMaxCwndCap(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), Config{MaxCwnd: 4, MaxBurst: -1})
+	s.Start()
+	acked := int64(0)
+	for i := 0; i < 30; i++ {
+		segs := h.take()
+		if len(segs) == 0 {
+			break
+		}
+		h.sched.RunUntil(h.sched.Now() + 10*time.Millisecond)
+		for range segs {
+			acked++
+			s.OnAck(cum(acked))
+		}
+	}
+	if s.Cwnd() > 4 {
+		t.Errorf("cwnd = %v exceeded MaxCwnd 4", s.Cwnd())
+	}
+}
+
+func TestPRInitialSsthreshDefault(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), Config{MaxBurst: -1})
+	if s.Ssthr() != 20 {
+		t.Errorf("initial ssthr = %v, want the ns-2 default 20", s.Ssthr())
+	}
+	unbounded := New(newHarness().env(), Config{InitialSsthresh: -1, MaxBurst: -1})
+	if !isInf(unbounded.Ssthr()) {
+		t.Errorf("negative InitialSsthresh should mean unbounded, got %v", unbounded.Ssthr())
+	}
+}
+
+func isInf(f float64) bool { return f > 1e300 }
+
+func TestPRModeString(t *testing.T) {
+	if SlowStart.String() != "slow-start" || CongestionAvoidance.String() != "congestion-avoidance" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(0).String() != "invalid" {
+		t.Error("zero mode should stringify as invalid")
+	}
+}
+
+func TestPRHeadOfLineCheckSparesYoungHoles(t *testing.T) {
+	// A duplicate ACK arriving while the head packet is still within its
+	// deadline must not declare it dropped (reordering safety: the
+	// ACK-clocked check evaluates the paper's raw timer condition, it is
+	// not a dupack-counting heuristic).
+	h := newHarness()
+	s := New(h.env(), Config{MaxBurst: -1})
+	s.Start()
+	h.take()
+	h.sched.RunUntil(50 * time.Millisecond)
+	s.OnAck(cum(1)) // mxrtt = 150ms; seqs 1,2 in flight
+	h.take()
+	h.sched.RunUntil(100 * time.Millisecond) // seq 1 is 50ms old < 150ms
+	s.OnAck(tcp.Ack{CumAck: 1, EchoSeq: 2})  // duplicate: seq 2 arrived first
+	if s.DropsDetected != 0 {
+		t.Fatal("young hole declared dropped by the ACK-clocked check")
+	}
+	// Once the deadline passes, the next duplicate rules it out.
+	h.sched.RunUntil(201 * time.Millisecond)
+	s.OnAck(tcp.Ack{CumAck: 1, EchoSeq: 3})
+	if s.DropsDetected != 1 {
+		t.Fatalf("expired hole not detected on the ACK clock: drops=%d", s.DropsDetected)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap runs fn(i) for i in [0, n) across a bounded worker pool and
+// returns the results in index order. Every experiment cell builds its own
+// scheduler and network, so cells are fully independent and embarrassingly
+// parallel; only the enclosing figure's result assembly is sequential.
+// Panics inside fn propagate to the caller (a misconfigured cell should
+// fail the whole run, not vanish into a goroutine).
+func parallelMap[T any](n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		out := make([]T, n)
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	out := make([]T, n)
+	panics := make(chan any, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics <- r
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	close(panics)
+	if r, ok := <-panics; ok {
+		panic(r)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package integration exercises the full stack end to end: senders and
+// receivers over real simulated links, queues, and multipath routers.
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/stats"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+	"tcppr/internal/workload"
+)
+
+// runSingleFlow runs one flow of the given protocol over a fresh dumbbell
+// and returns its goodput in Mbps over the measurement window.
+func runSingleFlow(t *testing.T, protocol string, dur time.Duration) float64 {
+	t.Helper()
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	f := tcp.NewFlow(d.Net, 1, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
+	wf := workload.NewFlow(f, protocol, workload.PRParams{}, 0)
+	warm := 20 * time.Second
+	wf.MarkWindow(sched, warm, warm+dur)
+	sched.RunUntil(warm + dur)
+	return stats.Mbps(stats.Throughput(wf.WindowBytes(), dur))
+}
+
+func TestSingleFlowSaturatesBottleneck(t *testing.T) {
+	for _, proto := range []string{
+		workload.TCPPR, workload.TCPSACK, workload.NewReno, workload.TCPReno, workload.TDFR,
+	} {
+		got := runSingleFlow(t, proto, 20*time.Second)
+		// 15 Mbps bottleneck; expect >= 85% utilization in steady state.
+		if got < 12.75 || got > 15.1 {
+			t.Errorf("%s: goodput = %.2f Mbps over a 15 Mbps bottleneck", proto, got)
+		}
+	}
+}
+
+func TestDSACKVariantsSaturateWithoutReordering(t *testing.T) {
+	for _, proto := range []string{
+		workload.DSACKNM, workload.DSACKIn1, workload.DSACKInN, workload.DSACKEW,
+	} {
+		got := runSingleFlow(t, proto, 20*time.Second)
+		if got < 12.75 || got > 15.1 {
+			t.Errorf("%s: goodput = %.2f Mbps over a 15 Mbps bottleneck", proto, got)
+		}
+	}
+}
+
+// runMultipath runs one flow over the Fig 5 topology with the given ε and
+// returns goodput in Mbps.
+func runMultipath(t *testing.T, protocol string, eps float64, linkDelay, dur time.Duration) float64 {
+	t.Helper()
+	sched := sim.NewScheduler()
+	m := topo.NewMultipath(sched, 3, linkDelay)
+	fwd := routing.NewEpsilon(m.FwdPaths, eps, sim.NewRand(sim.SplitSeed(42, 1)))
+	rev := routing.NewEpsilon(m.RevPaths, eps, sim.NewRand(sim.SplitSeed(42, 2)))
+	f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst, fwd, rev)
+	wf := workload.NewFlow(f, protocol, workload.PRParams{}, 0)
+	warm := 40 * time.Second
+	wf.MarkWindow(sched, warm, warm+dur)
+	sched.RunUntil(warm + dur)
+	return stats.Mbps(stats.Throughput(wf.WindowBytes(), dur))
+}
+
+func TestMultipathSinglePathBaseline(t *testing.T) {
+	// ε=500 is single-path: every protocol should get ~10 Mbps.
+	for _, proto := range []string{workload.TCPPR, workload.TCPSACK, workload.TDFR} {
+		got := runMultipath(t, proto, 500, 10*time.Millisecond, 20*time.Second)
+		if got < 8.5 || got > 10.1 {
+			t.Errorf("%s at eps=500: %.2f Mbps, want ~10", proto, got)
+		}
+	}
+}
+
+func TestPRSustainsFullMultipath(t *testing.T) {
+	// ε=0 spreads packets over 3 disjoint 10 Mbps paths: TCP-PR must
+	// aggregate well beyond a single path's capacity.
+	got := runMultipath(t, workload.TCPPR, 0, 10*time.Millisecond, 20*time.Second)
+	if got < 20 {
+		t.Errorf("TCP-PR at eps=0: %.2f Mbps, want > 20 (multipath aggregation)", got)
+	}
+}
+
+func TestSACKCollapsesUnderPersistentReordering(t *testing.T) {
+	pr := runMultipath(t, workload.TCPPR, 0, 10*time.Millisecond, 20*time.Second)
+	sk := runMultipath(t, workload.TCPSACK, 0, 10*time.Millisecond, 20*time.Second)
+	if sk >= pr/2 {
+		t.Errorf("TCP-SACK (%.2f Mbps) should collapse to well under half of TCP-PR (%.2f Mbps) at eps=0", sk, pr)
+	}
+}
+
+func TestFairnessPRvsSACKOnDumbbell(t *testing.T) {
+	// 4 PR + 4 SACK flows sharing one dumbbell: mean normalized
+	// throughput per protocol should be near 1 (Fig 2's claim).
+	sched := sim.NewScheduler()
+	const n = 8
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: n})
+	starts := workload.StaggeredStarts(n, 0, 2*time.Second)
+	flows := make([]*workload.Flow, 0, n)
+	for i := 0; i < n; i++ {
+		proto := workload.TCPPR
+		if i%2 == 1 {
+			proto = workload.TCPSACK
+		}
+		f := tcp.NewFlow(d.Net, i+1, d.Src(i), d.Dst(i),
+			routing.Static{Path: d.FwdPath(i)}, routing.Static{Path: d.RevPath(i)})
+		flows = append(flows, workload.NewFlow(f, proto, workload.PRParams{}, starts[i]))
+	}
+	warm, dur := 40*time.Second, 60*time.Second
+	for _, f := range flows {
+		f.MarkWindow(sched, warm, warm+dur)
+	}
+	sched.RunUntil(warm + dur)
+
+	var all []float64
+	for _, f := range flows {
+		all = append(all, float64(f.WindowBytes()))
+	}
+	norm := stats.Normalized(all)
+	var prMean, sackMean float64
+	for i, f := range flows {
+		if f.Protocol == workload.TCPPR {
+			prMean += norm[i] / (n / 2)
+		} else {
+			sackMean += norm[i] / (n / 2)
+		}
+	}
+	if prMean < 0.6 || prMean > 1.4 {
+		t.Errorf("TCP-PR mean normalized throughput = %.2f, want ~1", prMean)
+	}
+	if sackMean < 0.6 || sackMean > 1.4 {
+		t.Errorf("TCP-SACK mean normalized throughput = %.2f, want ~1", sackMean)
+	}
+}

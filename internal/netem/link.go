@@ -1,0 +1,179 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tcppr/internal/sim"
+)
+
+// LinkStats counts what happened on one unidirectional link.
+type LinkStats struct {
+	// Enqueued is the number of packets accepted into the output queue.
+	Enqueued uint64
+	// Dropped is the number of packets rejected because the queue was full.
+	Dropped uint64
+	// RandomDropped is the number of packets lost to the configured
+	// random-loss process (SetLoss) rather than queue overflow.
+	RandomDropped uint64
+	// Delivered is the number of packets handed to the downstream node.
+	Delivered uint64
+	// Bytes is the total payload delivered, in bytes.
+	Bytes uint64
+	// MaxQueue is the high-water mark of the queue occupancy in packets.
+	MaxQueue int
+}
+
+// DropRate returns the fraction of offered packets that were dropped
+// (queue overflow plus random loss).
+func (s LinkStats) DropRate() float64 {
+	offered := s.Enqueued + s.Dropped + s.RandomDropped
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Dropped+s.RandomDropped) / float64(offered)
+}
+
+// Link is a unidirectional store-and-forward link with a drop-tail FIFO
+// output queue, matching the ns-2 DropTail/DelayLink pair the paper used.
+//
+// A packet occupies one queue slot from the moment it is enqueued until its
+// serialization onto the wire completes. If the queue already holds
+// QueueCap packets the new packet is dropped (drop-tail). After
+// serialization (Size*8/Bandwidth) the packet propagates for Delay and is
+// delivered to the To node.
+type Link struct {
+	// Name identifies the link in traces, e.g. "r0->r1".
+	Name string
+	// From and To are the link endpoints.
+	From, To *Node
+	// Bandwidth is the serialization rate in bits per second.
+	Bandwidth int64
+	// Delay is the propagation delay.
+	Delay time.Duration
+	// QueueCap is the output-queue capacity in packets, counting the
+	// packet currently being serialized (ns-2 convention).
+	QueueCap int
+
+	sched     *sim.Scheduler
+	queueLen  int
+	busyUntil sim.Time
+	stats     LinkStats
+
+	lossProb  float64
+	lossRNG   *rand.Rand
+	jitter    time.Duration
+	jitterRNG *rand.Rand
+	red       *RED
+
+	// OnDrop, if non-nil, is invoked for every packet lost on this link
+	// (queue overflow or random loss); used by traces and tests.
+	OnDrop func(*Packet)
+}
+
+// SetLoss configures independent per-packet random loss with the given
+// probability, modeling a lossy (e.g. wireless) medium. The RNG must come
+// from sim.NewRand so runs stay deterministic. Probability 0 disables.
+func (l *Link) SetLoss(prob float64, rng *rand.Rand) {
+	if prob < 0 || prob >= 1 {
+		panic(fmt.Sprintf("netem: loss probability %v out of [0,1)", prob))
+	}
+	if prob > 0 && rng == nil {
+		panic("netem: SetLoss requires a seeded RNG")
+	}
+	l.lossProb = prob
+	l.lossRNG = rng
+}
+
+// SetJitter adds an independent uniform extra propagation delay in
+// [0, jitter] per packet, modeling per-packet queueing variation in a
+// QoS/DiffServ element. Because each packet's delay is drawn
+// independently, jitter larger than a packet's serialization time causes
+// reordering on the link itself. The RNG must come from sim.NewRand.
+func (l *Link) SetJitter(jitter time.Duration, rng *rand.Rand) {
+	if jitter < 0 {
+		panic("netem: negative jitter")
+	}
+	if jitter > 0 && rng == nil {
+		panic("netem: SetJitter requires a seeded RNG")
+	}
+	l.jitter = jitter
+	l.jitterRNG = rng
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueLen returns the instantaneous queue occupancy in packets.
+func (l *Link) QueueLen() int { return l.queueLen }
+
+// TxTime returns the serialization time for a packet of the given size.
+func (l *Link) TxTime(bytes int) time.Duration {
+	return time.Duration(float64(bytes*8) / float64(l.Bandwidth) * float64(time.Second))
+}
+
+// Enqueue offers a packet to the link's output queue. It returns false if
+// the packet was dropped (queue full). On success the packet will be
+// delivered to the downstream node after queueing, serialization, and
+// propagation delays.
+func (l *Link) Enqueue(p *Packet) bool {
+	if l.lossProb > 0 && l.lossRNG.Float64() < l.lossProb {
+		l.stats.RandomDropped++
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return false
+	}
+	if l.red != nil && !l.red.Admit(l.queueLen) {
+		l.stats.Dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return false
+	}
+	if l.queueLen >= l.QueueCap {
+		l.stats.Dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return false
+	}
+	l.queueLen++
+	l.stats.Enqueued++
+	if l.queueLen > l.stats.MaxQueue {
+		l.stats.MaxQueue = l.queueLen
+	}
+
+	now := l.sched.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	finish := start + l.TxTime(p.Size)
+	l.busyUntil = finish
+
+	// The queue slot frees when serialization completes; the packet
+	// arrives one propagation delay (plus any jitter draw) later.
+	l.sched.At(finish, func() {
+		l.queueLen--
+	})
+	delay := l.Delay
+	if l.jitter > 0 {
+		delay += time.Duration(l.jitterRNG.Int63n(int64(l.jitter) + 1))
+	}
+	l.sched.At(finish+delay, func() {
+		l.stats.Delivered++
+		l.stats.Bytes += uint64(p.Size)
+		p.advance()
+		l.To.receive(p)
+	})
+	return true
+}
+
+func (l *Link) String() string {
+	if l.Name != "" {
+		return l.Name
+	}
+	return fmt.Sprintf("%s->%s", l.From.Name, l.To.Name)
+}

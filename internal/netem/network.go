@@ -1,0 +1,139 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"tcppr/internal/sim"
+)
+
+// Network owns the nodes and links of one simulated topology and issues
+// packet IDs. All elements share a single sim.Scheduler.
+type Network struct {
+	sched  *sim.Scheduler
+	nodes  map[string]*Node
+	links  []*Link
+	nextID uint64
+}
+
+// NewNetwork creates an empty topology bound to the given scheduler.
+func NewNetwork(sched *sim.Scheduler) *Network {
+	return &Network{sched: sched, nodes: make(map[string]*Node)}
+}
+
+// Scheduler returns the scheduler shared by all elements of this network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Node returns the named node, creating it on first use.
+func (n *Network) Node(name string) *Node {
+	if nd, ok := n.nodes[name]; ok {
+		return nd
+	}
+	nd := &Node{Name: name}
+	n.nodes[name] = nd
+	return nd
+}
+
+// Nodes returns the number of nodes created so far.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// AddLink creates a unidirectional link between two (auto-created) nodes.
+func (n *Network) AddLink(from, to string, bandwidth int64, delay time.Duration, queueCap int) *Link {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("netem: link %s->%s has non-positive bandwidth %d", from, to, bandwidth))
+	}
+	if queueCap <= 0 {
+		panic(fmt.Sprintf("netem: link %s->%s has non-positive queue capacity %d", from, to, queueCap))
+	}
+	l := &Link{
+		Name:      from + "->" + to,
+		From:      n.Node(from),
+		To:        n.Node(to),
+		Bandwidth: bandwidth,
+		Delay:     delay,
+		QueueCap:  queueCap,
+		sched:     n.sched,
+	}
+	n.links = append(n.links, l)
+	return l
+}
+
+// AddDuplex creates a symmetric pair of unidirectional links and returns
+// (forward, reverse).
+func (n *Network) AddDuplex(a, b string, bandwidth int64, delay time.Duration, queueCap int) (*Link, *Link) {
+	return n.AddLink(a, b, bandwidth, delay, queueCap), n.AddLink(b, a, bandwidth, delay, queueCap)
+}
+
+// FindLink returns the link from one named node to another, or nil.
+func (n *Network) FindLink(from, to string) *Link {
+	for _, l := range n.links {
+		if l.From.Name == from && l.To.Name == to {
+			return l
+		}
+	}
+	return nil
+}
+
+// Send injects a packet at the head of its source route. The route must be
+// non-empty and contiguous. It returns false if the first hop dropped the
+// packet.
+func (n *Network) Send(p *Packet) bool {
+	if len(p.Path) == 0 {
+		panic("netem: Send with empty path")
+	}
+	for i := 1; i < len(p.Path); i++ {
+		if p.Path[i].From != p.Path[i-1].To {
+			panic(fmt.Sprintf("netem: discontiguous path at hop %d (%s then %s)",
+				i, p.Path[i-1], p.Path[i]))
+		}
+	}
+	p.ID = n.nextID
+	n.nextID++
+	p.SentAt = n.sched.Now()
+	return p.Path[0].Enqueue(p)
+}
+
+// TotalDrops sums queue drops across every link.
+func (n *Network) TotalDrops() uint64 {
+	var d uint64
+	for _, l := range n.links {
+		d += l.Stats().Dropped
+	}
+	return d
+}
+
+// TotalDelivered sums per-link deliveries across every link (a packet
+// crossing k links counts k times).
+func (n *Network) TotalDelivered() uint64 {
+	var d uint64
+	for _, l := range n.links {
+		d += l.Stats().Delivered
+	}
+	return d
+}
+
+// PathDelay returns the total propagation delay along a path. It ignores
+// queueing and serialization, so it is the zero-load lower bound used by
+// the ε-multipath router's path weights.
+func PathDelay(path []*Link) time.Duration {
+	var d time.Duration
+	for _, l := range path {
+		d += l.Delay
+	}
+	return d
+}
+
+// PathNames formats a path as "a->b->c" for traces and tests.
+func PathNames(path []*Link) string {
+	if len(path) == 0 {
+		return ""
+	}
+	s := path[0].From.Name
+	for _, l := range path {
+		s += "->" + l.To.Name
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package netem
+
+import "fmt"
+
+// Node is a network vertex. Packets whose source route ends here are handed
+// to the flow-specific local handler registered with Handle; packets with
+// remaining hops are forwarded onto their next link.
+type Node struct {
+	// Name identifies the node in traces and topology builders.
+	Name string
+
+	handlers map[int]func(*Packet)
+	// Forwarded counts packets this node pushed to a next hop.
+	Forwarded uint64
+	// DeliveredLocal counts packets consumed by local handlers.
+	DeliveredLocal uint64
+}
+
+// Handle registers fn as the local delivery handler for the given flow ID.
+// Registering twice for the same flow panics: it is always a wiring bug.
+func (n *Node) Handle(flow int, fn func(*Packet)) {
+	if n.handlers == nil {
+		n.handlers = make(map[int]func(*Packet))
+	}
+	if _, dup := n.handlers[flow]; dup {
+		panic(fmt.Sprintf("netem: node %q already has a handler for flow %d", n.Name, flow))
+	}
+	n.handlers[flow] = fn
+}
+
+// receive processes a packet arriving at this node: forward if the source
+// route has hops left, otherwise deliver locally. Packets for flows with no
+// handler are silently discarded (they model traffic sinks that no one
+// observes, e.g. after a flow has been torn down).
+func (n *Node) receive(p *Packet) {
+	if next := p.NextLink(); next != nil {
+		if next.From != n {
+			panic(fmt.Sprintf("netem: packet %d routed through %q but next link starts at %q",
+				p.ID, n.Name, next.From.Name))
+		}
+		n.Forwarded++
+		next.Enqueue(p)
+		return
+	}
+	if fn, ok := n.handlers[p.Flow]; ok {
+		n.DeliveredLocal++
+		fn(p)
+	}
+}
+
+func (n *Node) String() string { return n.Name }

@@ -1,0 +1,63 @@
+// Package netem models the network elements of the simulator: packets,
+// store-and-forward links with drop-tail FIFO queues, nodes, and the
+// Network container that ties them together.
+//
+// The model mirrors what the paper's ns-2 setup relied on: links have a
+// bandwidth and a propagation delay, each link owns an output queue with a
+// fixed packet capacity, and packets are source-routed so that a multipath
+// router can pin each packet to an explicit path. Nothing here knows about
+// TCP; transport payloads are opaque.
+package netem
+
+import (
+	"tcppr/internal/sim"
+)
+
+// Packet is one simulated datagram. Size is the wire size in bytes and is
+// the only field the link layer interprets; everything else is bookkeeping
+// for transports and tracing.
+type Packet struct {
+	// ID is unique per Network and identifies the packet in traces.
+	ID uint64
+	// Flow identifies the end-to-end flow the packet belongs to, used by
+	// nodes to demultiplex local deliveries.
+	Flow int
+	// Size is the wire size in bytes (headers included).
+	Size int
+	// Path is the source route: the exact sequence of links the packet
+	// will traverse. hop indexes the next link to take.
+	Path []*Link
+	hop  int
+	// Payload carries the transport PDU (a tcp segment or ack). The link
+	// layer never inspects it.
+	Payload any
+	// SentAt records when the packet entered the network (set by
+	// Network.Send); used for tracing and reorder metrics.
+	SentAt sim.Time
+	// Hops counts links traversed so far, for path-length statistics.
+	Hops int
+}
+
+// NextLink returns the next link on the packet's source route, or nil if
+// the route is exhausted (the packet is at its destination).
+func (p *Packet) NextLink() *Link {
+	if p.hop >= len(p.Path) {
+		return nil
+	}
+	return p.Path[p.hop]
+}
+
+// advance marks one hop as traversed.
+func (p *Packet) advance() {
+	p.hop++
+	p.Hops++
+}
+
+// Dest returns the final node on the packet's route, or nil for an empty
+// route.
+func (p *Packet) Dest() *Node {
+	if len(p.Path) == 0 {
+		return nil
+	}
+	return p.Path[len(p.Path)-1].To
+}

@@ -1,0 +1,100 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RED implements Random Early Detection (Floyd & Jacobson 1993), the
+// active-queue-management alternative to the paper's drop-tail queues.
+// When attached to a link, arriving packets are dropped probabilistically
+// as the exponentially weighted average queue length moves between MinTh
+// and MaxTh, desynchronizing flows and keeping queues short. The classic
+// "gentle" region above MaxTh ramps the drop probability to 1 at 2·MaxTh.
+//
+// RED matters to this repository as an ablation: the paper's results use
+// drop-tail, and RED's early, spread-out drops change the loss pattern
+// every TCP variant reacts to.
+type RED struct {
+	// MinTh and MaxTh are the average-queue thresholds in packets.
+	MinTh, MaxTh float64
+	// MaxP is the drop probability at MaxTh (default 0.1).
+	MaxP float64
+	// Weight is the averaging weight (default 0.002, the classic value).
+	Weight float64
+
+	rng   *rand.Rand
+	avg   float64
+	count int // packets since the last drop, for uniformization
+
+	// EarlyDrops counts probabilistic drops (as opposed to overflow).
+	EarlyDrops uint64
+}
+
+// NewRED builds a RED controller with the classic parameterization for
+// the given queue capacity: MinTh = cap/4, MaxTh = 3·cap/4.
+func NewRED(queueCap int, rng *rand.Rand) *RED {
+	if rng == nil {
+		panic("netem: NewRED requires a seeded RNG")
+	}
+	return &RED{
+		MinTh:  float64(queueCap) / 4,
+		MaxTh:  3 * float64(queueCap) / 4,
+		MaxP:   0.1,
+		Weight: 0.002,
+		rng:    rng,
+	}
+}
+
+// Admit decides whether an arriving packet enters a queue currently
+// holding qlen packets. It updates the average and returns false for an
+// early drop.
+func (r *RED) Admit(qlen int) bool {
+	w := r.Weight
+	if w <= 0 {
+		w = 0.002
+	}
+	r.avg = (1-w)*r.avg + w*float64(qlen)
+
+	switch {
+	case r.avg < r.MinTh:
+		r.count = 0
+		return true
+	case r.avg >= 2*r.MaxTh:
+		r.EarlyDrops++
+		r.count = 0
+		return false
+	}
+
+	var pb float64
+	if r.avg < r.MaxTh {
+		pb = r.MaxP * (r.avg - r.MinTh) / (r.MaxTh - r.MinTh)
+	} else {
+		// Gentle region: ramp from MaxP at MaxTh to 1 at 2*MaxTh.
+		pb = r.MaxP + (1-r.MaxP)*(r.avg-r.MaxTh)/r.MaxTh
+	}
+	// Uniformize inter-drop spacing (Floyd & Jacobson §4).
+	r.count++
+	pa := pb / (1 - float64(r.count)*pb)
+	if pa < 0 || pa > 1 {
+		pa = 1
+	}
+	if r.rng.Float64() < pa {
+		r.EarlyDrops++
+		r.count = 0
+		return false
+	}
+	return true
+}
+
+// AvgQueue exposes the averaged queue length (tests, traces).
+func (r *RED) AvgQueue() float64 { return r.avg }
+
+// AttachRED installs a RED controller on the link. Arriving packets
+// consult RED before the drop-tail capacity check.
+func (l *Link) AttachRED(r *RED) {
+	if r == nil {
+		panic(fmt.Sprintf("netem: nil RED on link %s", l))
+	}
+	l.red = r
+}

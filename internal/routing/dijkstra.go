@@ -1,0 +1,96 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"tcppr/internal/netem"
+)
+
+// ShortestPath computes the minimum-propagation-delay path between two
+// nodes of a network using Dijkstra's algorithm over the link delays.
+// It returns nil if the destination is unreachable.
+func ShortestPath(net *netem.Network, from, to *netem.Node) []*netem.Link {
+	adj := make(map[*netem.Node][]*netem.Link)
+	for _, l := range net.Links() {
+		adj[l.From] = append(adj[l.From], l)
+	}
+
+	dist := map[*netem.Node]time.Duration{from: 0}
+	prev := make(map[*netem.Node]*netem.Link)
+	done := make(map[*netem.Node]bool)
+
+	pq := &distHeap{{node: from}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(distEntry)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if cur.node == to {
+			break
+		}
+		for _, l := range adj[cur.node] {
+			nd := cur.dist + l.Delay
+			if old, seen := dist[l.To]; !seen || nd < old {
+				dist[l.To] = nd
+				prev[l.To] = l
+				heap.Push(pq, distEntry{node: l.To, dist: nd})
+			}
+		}
+	}
+
+	if !done[to] {
+		return nil
+	}
+	var rev []*netem.Link
+	for n := to; n != from; {
+		l := prev[n]
+		if l == nil {
+			panic(fmt.Sprintf("routing: broken predecessor chain at %s", n))
+		}
+		rev = append(rev, l)
+		n = l.From
+	}
+	path := make([]*netem.Link, len(rev))
+	for i, l := range rev {
+		path[len(rev)-1-i] = l
+	}
+	return path
+}
+
+// Reverse returns the reverse path of a path over duplex links: for each
+// link a->b (traversed back to front) it finds the b->a link in the
+// network. It panics if any reverse link is missing, which indicates a
+// topology that was not built with AddDuplex.
+func Reverse(net *netem.Network, path []*netem.Link) []*netem.Link {
+	rev := make([]*netem.Link, len(path))
+	for i, l := range path {
+		r := net.FindLink(l.To.Name, l.From.Name)
+		if r == nil {
+			panic(fmt.Sprintf("routing: no reverse link for %s", l))
+		}
+		rev[len(path)-1-i] = r
+	}
+	return rev
+}
+
+type distEntry struct {
+	node *netem.Node
+	dist time.Duration
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,29 @@
+package routing_test
+
+import (
+	"fmt"
+	"time"
+
+	"tcppr/internal/netem"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+)
+
+// ExampleNewEpsilon shows the paper's multipath family at its two
+// extremes: ε = 0 splits uniformly, large ε collapses to shortest-path.
+func ExampleNewEpsilon() {
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	short, _ := net.AddDuplex("a", "z", 10e6, 10*time.Millisecond, 100)
+	l1, _ := net.AddDuplex("a", "m", 10e6, 10*time.Millisecond, 100)
+	l2, _ := net.AddDuplex("m", "z", 10e6, 10*time.Millisecond, 100)
+	paths := [][]*netem.Link{{short}, {l1, l2}}
+
+	uniform := routing.NewEpsilon(paths, 0, sim.NewRand(1))
+	single := routing.NewEpsilon(paths, 500, sim.NewRand(1))
+	fmt.Printf("eps=0:   %.2f %.2f\n", uniform.Probabilities()[0], uniform.Probabilities()[1])
+	fmt.Printf("eps=500: %.2f %.2f\n", single.Probabilities()[0], single.Probabilities()[1])
+	// Output:
+	// eps=0:   0.50 0.50
+	// eps=500: 1.00 0.00
+}

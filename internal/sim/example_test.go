@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"tcppr/internal/sim"
+)
+
+// Example shows the discrete-event basics: schedule, run, observe virtual
+// time.
+func Example() {
+	s := sim.NewScheduler()
+	s.At(100*time.Millisecond, func() {
+		fmt.Println("first event at", s.Now())
+	})
+	s.After(250*time.Millisecond, func() {
+		fmt.Println("second event at", s.Now())
+	})
+	s.Run()
+	// Output:
+	// first event at 100ms
+	// second event at 250ms
+}
+
+// ExampleEvent_Cancel shows timer cancellation.
+func ExampleEvent_Cancel() {
+	s := sim.NewScheduler()
+	e := s.At(time.Second, func() { fmt.Println("never printed") })
+	e.Cancel()
+	s.Run()
+	fmt.Println("queue drained at", s.Now())
+	// Output:
+	// queue drained at 0s
+}

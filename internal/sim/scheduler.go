@@ -1,0 +1,188 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate every other package builds on: network links,
+// TCP senders, and experiment harnesses all schedule callbacks on a shared
+// Scheduler and read virtual time from it. Determinism is guaranteed by a
+// single-threaded run loop and a strict (time, insertion-sequence) event
+// ordering, so two runs with the same seeds produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the start of the simulation.
+// It reuses time.Duration so arithmetic with durations is natural and
+// nanosecond-exact (no floating-point clock drift).
+type Time = time.Duration
+
+// Event is a scheduled callback. Events are created through Scheduler.At or
+// Scheduler.After and may be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // position in the heap, -1 once popped
+}
+
+// At returns the virtual time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op. It reports whether the event
+// was still pending.
+func (e *Event) Cancel() bool {
+	if e.canceled || e.index == -1 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (e *Event) Pending() bool { return !e.canceled && e.index != -1 }
+
+// Scheduler owns the virtual clock and the pending-event queue.
+// The zero value is not usable; create one with NewScheduler.
+type Scheduler struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+}
+
+// NewScheduler returns a Scheduler with the clock at zero and no pending
+// events.
+func NewScheduler() *Scheduler {
+	return &Scheduler{events: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled
+// events still in the heap are not counted.
+func (s *Scheduler) Len() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed returns the number of events executed so far. It is useful for
+// run-length accounting in benchmarks and runaway-simulation guards.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// At schedules fn to run at virtual time t. Scheduling in the past
+// (t < Now) panics: it is always a logic error in a discrete-event model
+// and silently reordering the past would destroy determinism.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed (false means the
+// queue is empty).
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the clock
+// to exactly t. Events scheduled after t remain pending.
+func (s *Scheduler) RunUntil(t Time) {
+	for {
+		e := s.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// peek returns the next non-cancelled event without executing it, lazily
+// discarding cancelled entries from the top of the heap.
+func (s *Scheduler) peek() *Event {
+	for len(s.events) > 0 {
+		if e := s.events[0]; e.canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0]
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, insertion sequence). The sequence
+// tiebreak makes same-timestamp execution order equal to scheduling order,
+// which keeps simulations deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

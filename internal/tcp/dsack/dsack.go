@@ -1,0 +1,83 @@
+// Package dsack implements the Blanton–Allman DSACK response schemes [3]
+// the paper benchmarks against (Fig 6): after a spurious fast retransmit
+// is detected through a DSACK report, the sender's congestion state is
+// restored (done by package sack) and the duplicate-ACK threshold is
+// adjusted by one of four policies:
+//
+//   - NM ("no move"): restore congestion state only, dupthresh unchanged.
+//   - Inc1 ("Inc by 1"): increment dupthresh by a constant 1.
+//   - IncN ("Inc by N"): set dupthresh to the average of its current
+//     value and the number of duplicate ACKs observed in the spurious
+//     episode.
+//   - EWMA: exponentially weighted moving average of the observed
+//     duplicate-ACK counts.
+//
+// Each policy is a sack.DupThreshPolicy; pair it with
+// sack.Config.ExtendedLimitedTransmit as [3] does, so large thresholds do
+// not stall the ACK clock.
+package dsack
+
+import "tcppr/internal/tcp/sack"
+
+// NM is [3]'s baseline response: undo the window reduction, leave
+// dupthresh alone.
+type NM struct{}
+
+// OnSpurious implements sack.DupThreshPolicy.
+func (NM) OnSpurious(current, _ int) int { return current }
+
+// Inc1 increments dupthresh by a constant (1) per spurious retransmit.
+type Inc1 struct{}
+
+// OnSpurious implements sack.DupThreshPolicy.
+func (Inc1) OnSpurious(current, _ int) int { return current + 1 }
+
+// IncN sets dupthresh to the average of the current threshold and the
+// duplicate-ACK count that accompanied the spurious retransmit.
+type IncN struct{}
+
+// OnSpurious implements sack.DupThreshPolicy.
+func (IncN) OnSpurious(current, observed int) int {
+	return (current + observed + 1) / 2
+}
+
+// EWMA tracks an exponentially weighted moving average of observed
+// duplicate-ACK counts. The zero value uses gain 1/4.
+type EWMA struct {
+	// Gain is the EWMA weight on the new observation in (0, 1];
+	// zero selects 0.25.
+	Gain float64
+	avg  float64
+}
+
+// OnSpurious implements sack.DupThreshPolicy.
+func (e *EWMA) OnSpurious(current, observed int) int {
+	g := e.Gain
+	if g <= 0 || g > 1 {
+		g = 0.25
+	}
+	if e.avg == 0 {
+		e.avg = float64(current)
+	}
+	e.avg = (1-g)*e.avg + g*float64(observed)
+	return int(e.avg + 0.5)
+}
+
+// Compile-time interface checks.
+var (
+	_ sack.DupThreshPolicy = NM{}
+	_ sack.DupThreshPolicy = Inc1{}
+	_ sack.DupThreshPolicy = IncN{}
+	_ sack.DupThreshPolicy = (*EWMA)(nil)
+)
+
+// Variants returns the scheme set the paper's Figure 6 compares, keyed by
+// the figure's labels.
+func Variants() map[string]func() sack.DupThreshPolicy {
+	return map[string]func() sack.DupThreshPolicy{
+		"DSACK-NM": func() sack.DupThreshPolicy { return NM{} },
+		"Inc by 1": func() sack.DupThreshPolicy { return Inc1{} },
+		"Inc by N": func() sack.DupThreshPolicy { return IncN{} },
+		"EWMA":     func() sack.DupThreshPolicy { return &EWMA{} },
+	}
+}

@@ -1,0 +1,114 @@
+package dsack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNMKeepsThreshold(t *testing.T) {
+	if got := (NM{}).OnSpurious(7, 42); got != 7 {
+		t.Errorf("NM.OnSpurious(7, 42) = %d, want 7", got)
+	}
+}
+
+func TestInc1Increments(t *testing.T) {
+	p := Inc1{}
+	th := 3
+	for i := 1; i <= 5; i++ {
+		th = p.OnSpurious(th, 100)
+		if th != 3+i {
+			t.Fatalf("after %d spurious events dupthresh = %d, want %d", i, th, 3+i)
+		}
+	}
+}
+
+func TestIncNAverages(t *testing.T) {
+	cases := []struct{ cur, n, want int }{
+		{3, 9, 6},
+		{3, 3, 3},
+		{10, 4, 7},
+		{3, 4, 4}, // rounds up
+	}
+	for _, c := range cases {
+		if got := (IncN{}).OnSpurious(c.cur, c.n); got != c.want {
+			t.Errorf("IncN.OnSpurious(%d, %d) = %d, want %d", c.cur, c.n, got, c.want)
+		}
+	}
+}
+
+func TestEWMAConvergesToObservations(t *testing.T) {
+	e := &EWMA{}
+	th := 3
+	for i := 0; i < 40; i++ {
+		th = e.OnSpurious(th, 20)
+	}
+	if th < 18 || th > 22 {
+		t.Errorf("EWMA after 40 observations of 20 = %d, want ~20", th)
+	}
+}
+
+func TestEWMAFirstObservationSeedsFromCurrent(t *testing.T) {
+	e := &EWMA{}
+	got := e.OnSpurious(3, 11)
+	// avg seeds at 3, then 0.75*3 + 0.25*11 = 5.
+	if got != 5 {
+		t.Errorf("first EWMA observation = %d, want 5", got)
+	}
+}
+
+func TestEWMACustomGain(t *testing.T) {
+	e := &EWMA{Gain: 1}
+	if got := e.OnSpurious(3, 17); got != 17 {
+		t.Errorf("gain-1 EWMA = %d, want 17 (jump to observation)", got)
+	}
+}
+
+// Property: EWMA output always lies between the running minimum and
+// maximum of its inputs (seeded with the initial threshold).
+func TestEWMABoundedProperty(t *testing.T) {
+	f := func(obs []uint8) bool {
+		e := &EWMA{}
+		th := 3
+		lo, hi := 3, 3
+		for _, o := range obs {
+			n := int(o%64) + 1
+			if n < lo {
+				lo = n
+			}
+			if n > hi {
+				hi = n
+			}
+			th = e.OnSpurious(th, n)
+			if th < lo-1 || th > hi+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantsComplete(t *testing.T) {
+	v := Variants()
+	for _, name := range []string{"DSACK-NM", "Inc by 1", "Inc by N", "EWMA"} {
+		mk, ok := v[name]
+		if !ok {
+			t.Errorf("Variants missing %q", name)
+			continue
+		}
+		if mk() == nil {
+			t.Errorf("Variants[%q] built nil policy", name)
+		}
+	}
+	if len(v) != 4 {
+		t.Errorf("Variants has %d entries, want 4", len(v))
+	}
+	// Each call must build independent policy state (EWMA is stateful).
+	a, b := v["EWMA"](), v["EWMA"]()
+	a.OnSpurious(3, 60)
+	if got := b.OnSpurious(3, 3); got > 4 {
+		t.Error("EWMA policies from Variants share state")
+	}
+}

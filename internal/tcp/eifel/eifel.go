@@ -1,0 +1,75 @@
+// Package eifel implements the Eifel algorithm (Ludwig & Katz [15]), the
+// timestamp-based spurious-retransmission detector the paper discusses in
+// §2: every segment carries a timestamp which the receiver echoes; when
+// the first ACK covering a retransmitted sequence echoes a timestamp
+// *older* than the retransmission, the ACK must have been triggered by the
+// original transmission — the retransmission (and the congestion response
+// that came with it) was spurious, and the saved congestion state is
+// restored.
+//
+// The sender is NewReno from package reno with Eifel's detection layered
+// on through the reduction hooks. tcp.Seg.Stamp / tcp.Ack.EchoStamp play
+// the role of the TCP timestamp option.
+package eifel
+
+import (
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/tcp/reno"
+)
+
+// Sender is a NewReno sender with the Eifel spurious-retransmission
+// response.
+type Sender struct {
+	*reno.Sender
+	sched *sim.Scheduler
+
+	// armed tracks the most recent congestion response and the
+	// retransmission that accompanied it.
+	armed struct {
+		valid          bool
+		seq            int64    // the retransmitted sequence
+		retxAt         sim.Time // when the retransmission was sent
+		cwnd, ssthresh float64  // pre-reduction state
+	}
+
+	// SpuriousDetected counts Eifel activations.
+	SpuriousDetected uint64
+}
+
+// New builds an Eifel sender.
+func New(env tcp.SenderEnv, cfg reno.Config) *Sender {
+	s := &Sender{sched: env.Sched}
+	cfg.NewReno = true
+	cfg.OnReduction = func(preCwnd, preSsthr float64) {
+		// The reduction is always accompanied by a retransmission of
+		// the first unacknowledged segment; record both.
+		s.armed.valid = true
+		s.armed.seq = s.Una()
+		s.armed.retxAt = env.Sched.Now()
+		s.armed.cwnd = preCwnd
+		s.armed.ssthresh = preSsthr
+	}
+	s.Sender = reno.New(env, cfg)
+	return s
+}
+
+var _ tcp.Sender = (*Sender)(nil)
+
+// OnAck implements tcp.Sender: the Eifel check runs on the first ACK that
+// covers the armed retransmission.
+func (s *Sender) OnAck(ack tcp.Ack) {
+	if s.armed.valid && ack.CumAck > s.armed.seq {
+		if ack.EchoStamp != 0 && ack.EchoStamp < s.armed.retxAt {
+			// The echoed timestamp predates the retransmission: the
+			// original arrived, the retransmission was spurious.
+			s.SpuriousDetected++
+			s.Sender.OnAck(ack)
+			s.RestoreState(s.armed.cwnd, s.armed.ssthresh)
+			s.armed.valid = false
+			return
+		}
+		s.armed.valid = false
+	}
+	s.Sender.OnAck(ack)
+}

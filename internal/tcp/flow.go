@@ -1,0 +1,216 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"tcppr/internal/netem"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+)
+
+// Wire sizes matching the paper's ns-2 setup: 1000-byte data packets and
+// 40-byte ACKs.
+const (
+	DefaultPktSize = 1000
+	DefaultAckSize = 40
+)
+
+// FlowHooks are optional observation points, used by traces and tests.
+// All fields may be nil.
+type FlowHooks struct {
+	// OnDataSent fires when the sender injects a data segment (before the
+	// first hop can drop it).
+	OnDataSent func(seg Seg, now sim.Time)
+	// OnDataRecv fires when a data segment reaches the receiver.
+	OnDataRecv func(seg Seg, now sim.Time)
+	// OnAckSent fires when the receiver emits an ACK.
+	OnAckSent func(ack Ack, now sim.Time)
+	// OnAckRecv fires when an ACK survives the reverse path.
+	OnAckRecv func(ack Ack, now sim.Time)
+}
+
+// Flow is one end-to-end TCP connection: a sender at Src, a Receiver at
+// Dst, and a router for each direction. Data and ACK packets both traverse
+// the routed topology, so both can be reordered or dropped — the paper
+// stresses that TCP-PR tolerates ACK reordering and loss too.
+type Flow struct {
+	// ID is the flow identifier used to demultiplex deliveries at nodes.
+	ID int
+	// PktSize and AckSize are wire sizes in bytes.
+	PktSize, AckSize int
+
+	net      *netem.Network
+	src, dst *netem.Node
+	fwd, rev routing.Router
+	sender   Sender
+	recv     *Receiver
+
+	// Hooks are optional observation callbacks.
+	Hooks FlowHooks
+
+	// DelayedAcks enables RFC 1122/5681 receiver-side ACK delaying: an
+	// ACK is withheld until a second in-order segment arrives or the
+	// delack timer (200 ms) fires; out-of-order and duplicate arrivals
+	// are ACKed immediately. The paper's ns-2 setup ACKs every packet
+	// (the default here); this option exists to verify TCP-PR's
+	// unmodified-receiver claim against the other standard receiver
+	// behaviour. Set before Start.
+	DelayedAcks bool
+
+	delackPending bool
+	delackAck     Ack
+	delackTimer   *sim.Event
+
+	dataSent, dataRetx, acksSent uint64
+}
+
+// DelAckTimeout is the standard delayed-ACK timer.
+const DelAckTimeout = 200 * time.Millisecond
+
+// NewFlow wires a flow between two nodes. fwd routes data (src→dst), rev
+// routes ACKs (dst→src). The sender is attached separately with Attach so
+// that variant constructors can receive the flow's SenderEnv.
+func NewFlow(net *netem.Network, id int, src, dst *netem.Node, fwd, rev routing.Router) *Flow {
+	if fwd == nil || rev == nil {
+		panic("tcp: NewFlow requires both routers")
+	}
+	f := &Flow{
+		ID:      id,
+		PktSize: DefaultPktSize,
+		AckSize: DefaultAckSize,
+		net:     net,
+		src:     src,
+		dst:     dst,
+		fwd:     fwd,
+		rev:     rev,
+		recv:    &Receiver{},
+	}
+	dst.Handle(id, f.onDataArrival)
+	src.Handle(id, f.onAckArrival)
+	return f
+}
+
+// Env returns the sender environment for this flow.
+func (f *Flow) Env() SenderEnv {
+	return SenderEnv{Sched: f.net.Scheduler(), Transmit: f.transmit}
+}
+
+// Attach installs the sender built by mk. It must be called exactly once
+// before Start.
+func (f *Flow) Attach(mk func(SenderEnv) Sender) {
+	if f.sender != nil {
+		panic(fmt.Sprintf("tcp: flow %d already has a sender", f.ID))
+	}
+	f.sender = mk(f.Env())
+}
+
+// Start schedules the sender to begin at virtual time at.
+func (f *Flow) Start(at sim.Time) {
+	if f.sender == nil {
+		panic(fmt.Sprintf("tcp: flow %d started without a sender", f.ID))
+	}
+	f.net.Scheduler().At(at, f.sender.Start)
+}
+
+// Sender returns the attached sender (nil before Attach).
+func (f *Flow) Sender() Sender { return f.sender }
+
+// Receiver returns the flow's receiver.
+func (f *Flow) Receiver() *Receiver { return f.recv }
+
+// UniqueBytes returns the goodput numerator: distinct data bytes that
+// reached the receiver.
+func (f *Flow) UniqueBytes() int64 { return f.recv.UniqueSegs * int64(f.PktSize) }
+
+// DataSent returns the number of data segments injected (including
+// retransmissions); DataRetx counts only retransmissions.
+func (f *Flow) DataSent() uint64 { return f.dataSent }
+
+// DataRetx returns the number of retransmitted segments injected.
+func (f *Flow) DataRetx() uint64 { return f.dataRetx }
+
+// AcksSent returns the number of ACKs the receiver emitted.
+func (f *Flow) AcksSent() uint64 { return f.acksSent }
+
+// transmit implements SenderEnv.Transmit.
+func (f *Flow) transmit(seg Seg) bool {
+	f.dataSent++
+	if seg.Retx {
+		f.dataRetx++
+	}
+	if f.Hooks.OnDataSent != nil {
+		f.Hooks.OnDataSent(seg, f.net.Scheduler().Now())
+	}
+	path := f.fwd.Route()
+	return f.net.Send(&netem.Packet{
+		Flow:    f.ID,
+		Size:    f.PktSize,
+		Path:    path,
+		Payload: seg,
+	})
+}
+
+// onDataArrival handles a data segment reaching the destination node.
+func (f *Flow) onDataArrival(p *netem.Packet) {
+	seg, ok := p.Payload.(Seg)
+	if !ok {
+		return // an ACK looped to the wrong endpoint; impossible by construction
+	}
+	now := f.net.Scheduler().Now()
+	if f.Hooks.OnDataRecv != nil {
+		f.Hooks.OnDataRecv(seg, now)
+	}
+	ack := f.recv.OnData(seg, now)
+
+	if f.DelayedAcks {
+		// RFC 5681 §4.2: delay only clean in-order advances; anything
+		// out of order or duplicate must be ACKed at once (and flushes
+		// any pending delayed ACK state with it, since the cumulative
+		// field is carried anyway).
+		inOrder := len(ack.Blocks) == 0 && ack.DSACK == nil
+		if inOrder && !f.delackPending {
+			f.delackPending = true
+			f.delackAck = ack
+			f.delackTimer = f.net.Scheduler().After(DelAckTimeout, func() {
+				if f.delackPending {
+					f.delackPending = false
+					f.emitAck(f.delackAck)
+				}
+			})
+			return
+		}
+		if f.delackPending {
+			f.delackPending = false
+			f.delackTimer.Cancel()
+		}
+	}
+	f.emitAck(ack)
+}
+
+// emitAck sends one acknowledgment over the reverse path.
+func (f *Flow) emitAck(ack Ack) {
+	now := f.net.Scheduler().Now()
+	f.acksSent++
+	if f.Hooks.OnAckSent != nil {
+		f.Hooks.OnAckSent(ack, now)
+	}
+	f.net.Send(&netem.Packet{
+		Flow:    f.ID,
+		Size:    f.AckSize,
+		Path:    f.rev.Route(),
+		Payload: ack,
+	})
+}
+
+// onAckArrival handles an ACK reaching the source node.
+func (f *Flow) onAckArrival(p *netem.Packet) {
+	ack, ok := p.Payload.(Ack)
+	if !ok {
+		return
+	}
+	if f.Hooks.OnAckRecv != nil {
+		f.Hooks.OnAckRecv(ack, f.net.Scheduler().Now())
+	}
+	f.sender.OnAck(ack)
+}

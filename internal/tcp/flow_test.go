@@ -1,0 +1,173 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/netem"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+)
+
+// echoSender is a minimal sender: it transmits one segment per Start/OnAck
+// in sequence, stop-and-wait style, so flow wiring can be tested without a
+// congestion controller.
+type echoSender struct {
+	env  SenderEnv
+	next int64
+	Acks []Ack
+}
+
+func (e *echoSender) Start() {
+	e.env.Transmit(Seg{Seq: e.next})
+	e.next++
+}
+
+func (e *echoSender) OnAck(a Ack) {
+	e.Acks = append(e.Acks, a)
+	e.env.Transmit(Seg{Seq: e.next})
+	e.next++
+}
+
+// twoHostNet builds a minimal two-host topology and returns the wired flow
+// plus its sender.
+func twoHostNet(t *testing.T) (*sim.Scheduler, *Flow, *echoSender) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	fwd, rev := net.AddDuplex("a", "b", 10e6, 5*time.Millisecond, 100)
+	f := NewFlow(net, 1, net.Node("a"), net.Node("b"),
+		routing.Static{Path: []*netem.Link{fwd}},
+		routing.Static{Path: []*netem.Link{rev}})
+	var es *echoSender
+	f.Attach(func(env SenderEnv) Sender {
+		es = &echoSender{env: env}
+		return es
+	})
+	return sched, f, es
+}
+
+func TestFlowRoundTrip(t *testing.T) {
+	sched, f, es := twoHostNet(t)
+	f.Start(0)
+	sched.RunUntil(time.Second)
+	// Stop-and-wait at ~10ms RTT: ~100 round trips per second.
+	if len(es.Acks) < 90 || len(es.Acks) > 110 {
+		t.Fatalf("completed %d round trips in 1s at 10ms RTT, want ~100", len(es.Acks))
+	}
+	for i, a := range es.Acks {
+		if a.CumAck != int64(i+1) {
+			t.Fatalf("ack %d carries cum %d, want %d", i, a.CumAck, i+1)
+		}
+	}
+	if f.UniqueBytes() != f.Receiver().UniqueSegs*int64(f.PktSize) {
+		t.Error("UniqueBytes inconsistent with receiver segments")
+	}
+	if f.DataSent() != uint64(len(es.Acks))+1 {
+		t.Errorf("DataSent = %d, want %d", f.DataSent(), len(es.Acks)+1)
+	}
+	// One ACK per data arrival; the final data packet may still be in
+	// flight at the cutoff.
+	if f.DataSent()-f.AcksSent() > 1 {
+		t.Errorf("AcksSent = %d, want one per data packet (%d sent)", f.AcksSent(), f.DataSent())
+	}
+}
+
+func TestFlowHooksFire(t *testing.T) {
+	sched, f, _ := twoHostNet(t)
+	var ds, dr, as, ar int
+	f.Hooks = FlowHooks{
+		OnDataSent: func(Seg, sim.Time) { ds++ },
+		OnDataRecv: func(Seg, sim.Time) { dr++ },
+		OnAckSent:  func(Ack, sim.Time) { as++ },
+		OnAckRecv:  func(Ack, sim.Time) { ar++ },
+	}
+	f.Start(0)
+	sched.RunUntil(100 * time.Millisecond)
+	if ds == 0 || dr == 0 || as == 0 || ar == 0 {
+		t.Fatalf("hooks fired (%d,%d,%d,%d), want all nonzero", ds, dr, as, ar)
+	}
+	// At most one packet may still be in flight at the cutoff.
+	if ds-dr > 1 || as-ar > 1 {
+		t.Errorf("lossless link: sent/received mismatch (%d/%d data, %d/%d acks)", ds, dr, as, ar)
+	}
+}
+
+func TestFlowStartTimeHonored(t *testing.T) {
+	sched, f, _ := twoHostNet(t)
+	var firstSend sim.Time = -1
+	f.Hooks.OnDataSent = func(_ Seg, now sim.Time) {
+		if firstSend < 0 {
+			firstSend = now
+		}
+	}
+	f.Start(2 * time.Second)
+	sched.RunUntil(3 * time.Second)
+	if firstSend != 2*time.Second {
+		t.Errorf("first transmission at %v, want 2s", firstSend)
+	}
+}
+
+func TestFlowDoubleAttachPanics(t *testing.T) {
+	_, f, _ := twoHostNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Attach must panic")
+		}
+	}()
+	f.Attach(func(env SenderEnv) Sender { return &echoSender{env: env} })
+}
+
+func TestFlowStartWithoutSenderPanics(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	fwd, rev := net.AddDuplex("a", "b", 10e6, time.Millisecond, 10)
+	f := NewFlow(net, 1, net.Node("a"), net.Node("b"),
+		routing.Static{Path: []*netem.Link{fwd}},
+		routing.Static{Path: []*netem.Link{rev}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start before Attach must panic")
+		}
+	}()
+	f.Start(0)
+}
+
+func TestFlowNilRouterPanics(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	net.AddDuplex("a", "b", 10e6, time.Millisecond, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil router must panic")
+		}
+	}()
+	NewFlow(net, 1, net.Node("a"), net.Node("b"), nil, nil)
+}
+
+func TestTwoFlowsShareNodesIndependently(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	fwd, rev := net.AddDuplex("a", "b", 10e6, 5*time.Millisecond, 100)
+	mk := func(id int) (*Flow, *echoSender) {
+		f := NewFlow(net, id, net.Node("a"), net.Node("b"),
+			routing.Static{Path: []*netem.Link{fwd}},
+			routing.Static{Path: []*netem.Link{rev}})
+		var es *echoSender
+		f.Attach(func(env SenderEnv) Sender {
+			es = &echoSender{env: env}
+			return es
+		})
+		f.Start(0)
+		return f, es
+	}
+	f1, s1 := mk(1)
+	f2, s2 := mk(2)
+	sched.RunUntil(500 * time.Millisecond)
+	if len(s1.Acks) == 0 || len(s2.Acks) == 0 {
+		t.Fatal("both flows must make progress")
+	}
+	if f1.Receiver().UniqueSegs == 0 || f2.Receiver().UniqueSegs == 0 {
+		t.Fatal("both receivers must see data")
+	}
+}

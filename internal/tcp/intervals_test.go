@@ -1,0 +1,209 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalSetBasics(t *testing.T) {
+	var s IntervalSet
+	if s.Contains(0) || s.Len() != 0 {
+		t.Fatal("zero-value set must be empty")
+	}
+	if !s.Add(5, 8) {
+		t.Fatal("adding to empty set must report new data")
+	}
+	if !s.Contains(5) || !s.Contains(7) || s.Contains(8) || s.Contains(4) {
+		t.Fatal("half-open interval semantics violated")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestIntervalSetMerging(t *testing.T) {
+	var s IntervalSet
+	s.Add(1, 3)
+	s.Add(7, 9)
+	s.Add(3, 7) // bridges the gap (adjacent on both sides)
+	if got := len(s.Blocks()); got != 1 {
+		t.Fatalf("blocks = %v, want one merged block", s.Blocks())
+	}
+	if b := s.Blocks()[0]; b.Start != 1 || b.End != 9 {
+		t.Fatalf("merged block = %v, want [1,9)", b)
+	}
+}
+
+func TestIntervalSetAddReportsNew(t *testing.T) {
+	var s IntervalSet
+	s.Add(10, 20)
+	cases := []struct {
+		start, end int64
+		wantNew    bool
+	}{
+		{12, 15, false}, // fully covered
+		{10, 20, false}, // exact
+		{5, 10, true},   // adjacent below
+		{3, 4, true},    // disjoint below
+		{19, 25, true},  // overlap above
+	}
+	for _, c := range cases {
+		var cp IntervalSet
+		cp.Add(10, 20)
+		cp.Add(30, 31) // extra block to exercise multi-block paths
+		if got := cp.Add(c.start, c.end); got != c.wantNew {
+			t.Errorf("Add(%d,%d) new = %v, want %v", c.start, c.end, got, c.wantNew)
+		}
+	}
+	if s.Add(15, 15) {
+		t.Error("empty range must not report new data")
+	}
+}
+
+func TestIntervalSetNextGapAbove(t *testing.T) {
+	var s IntervalSet
+	s.Add(1, 3)
+	s.Add(5, 7)
+	cases := map[int64]int64{0: 0, 1: 3, 2: 3, 3: 3, 4: 4, 5: 7, 6: 7, 7: 7, 100: 100}
+	for in, want := range cases {
+		if got := s.NextGapAbove(in); got != want {
+			t.Errorf("NextGapAbove(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIntervalSetCountAbove(t *testing.T) {
+	var s IntervalSet
+	s.Add(10, 13) // 10,11,12
+	s.Add(20, 22) // 20,21
+	cases := map[int64]int64{0: 5, 9: 5, 10: 4, 12: 2, 13: 2, 19: 2, 21: 0, 30: 0}
+	for in, want := range cases {
+		if got := s.CountAbove(in); got != want {
+			t.Errorf("CountAbove(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIntervalSetDropBelow(t *testing.T) {
+	var s IntervalSet
+	s.Add(1, 5)
+	s.Add(8, 10)
+	s.DropBelow(3)
+	if s.Contains(2) || !s.Contains(3) || !s.Contains(8) {
+		t.Fatalf("DropBelow(3) left %v", s.Blocks())
+	}
+	s.DropBelow(100)
+	if s.Len() != 0 {
+		t.Fatal("DropBelow past everything must empty the set")
+	}
+}
+
+func TestIntervalSetMinMax(t *testing.T) {
+	var s IntervalSet
+	if _, ok := s.Min(); ok {
+		t.Fatal("Min on empty set must report !ok")
+	}
+	if _, ok := s.Max(); ok {
+		t.Fatal("Max on empty set must report !ok")
+	}
+	s.Add(4, 6)
+	s.Add(9, 12)
+	if mn, _ := s.Min(); mn != 4 {
+		t.Errorf("Min = %d, want 4", mn)
+	}
+	if mx, _ := s.Max(); mx != 11 {
+		t.Errorf("Max = %d, want 11", mx)
+	}
+}
+
+func TestIntervalSetContainsRange(t *testing.T) {
+	var s IntervalSet
+	s.Add(5, 10)
+	if !s.ContainsRange(5, 10) || !s.ContainsRange(6, 9) || !s.ContainsRange(7, 7) {
+		t.Error("ContainsRange false negatives")
+	}
+	if s.ContainsRange(4, 6) || s.ContainsRange(9, 11) {
+		t.Error("ContainsRange false positives")
+	}
+}
+
+// naiveSet mirrors IntervalSet with a plain map, as a property-test oracle.
+type naiveSet map[int64]bool
+
+func (n naiveSet) add(start, end int64) bool {
+	added := false
+	for s := start; s < end; s++ {
+		if !n[s] {
+			added = true
+			n[s] = true
+		}
+	}
+	return added
+}
+
+// Property: IntervalSet agrees with a naive per-sequence set under any
+// sequence of Add operations.
+func TestIntervalSetMatchesNaiveProperty(t *testing.T) {
+	type op struct{ Start, Len uint8 }
+	f := func(ops []op) bool {
+		var s IntervalSet
+		naive := naiveSet{}
+		for _, o := range ops {
+			start, end := int64(o.Start), int64(o.Start)+int64(o.Len%8)
+			if s.Add(start, end) != naive.add(start, end) {
+				return false
+			}
+		}
+		if s.Len() != int64(len(naive)) {
+			return false
+		}
+		for seq := int64(0); seq < 300; seq++ {
+			if s.Contains(seq) != naive[seq] {
+				return false
+			}
+		}
+		// Blocks must be sorted, disjoint, and non-adjacent.
+		blocks := s.Blocks()
+		for i := 1; i < len(blocks); i++ {
+			if blocks[i].Start <= blocks[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CountAbove and NextGapAbove agree with the naive oracle.
+func TestIntervalSetQueriesProperty(t *testing.T) {
+	type op struct{ Start, Len uint8 }
+	f := func(ops []op, probe uint8) bool {
+		var s IntervalSet
+		naive := naiveSet{}
+		for _, o := range ops {
+			start, end := int64(o.Start), int64(o.Start)+int64(o.Len%8)
+			s.Add(start, end)
+			naive.add(start, end)
+		}
+		p := int64(probe)
+		var wantCount int64
+		for seq := range naive {
+			if seq > p {
+				wantCount++
+			}
+		}
+		if s.CountAbove(p) != wantCount {
+			return false
+		}
+		wantGap := p
+		for naive[wantGap] {
+			wantGap++
+		}
+		return s.NextGapAbove(p) == wantGap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package tcp
+
+import "tcppr/internal/sim"
+
+// MaxSackBlocks is the number of SACK blocks an ACK can carry (RFC 2018's
+// practical limit with the timestamp option in use).
+const MaxSackBlocks = 3
+
+// Receiver implements the standard TCP receiver used by every sender
+// variant in this repository: it acknowledges cumulatively, attaches SACK
+// blocks describing out-of-order data (RFC 2018), and reports duplicate
+// arrivals with DSACK (RFC 2883). TCP-PR deliberately uses only the
+// cumulative field — the paper's point is that it needs no receiver
+// changes and no TCP options — while SACK-based senders read the blocks.
+//
+// The zero value is a ready-to-use receiver at sequence 0.
+type Receiver struct {
+	cumAck int64       // next expected sequence
+	ooo    IntervalSet // out-of-order data above cumAck
+	// recent remembers the most recently changed OOO blocks, newest
+	// first, for RFC 2018's block-ordering rule.
+	recent []SackBlock
+
+	// UniqueSegs counts distinct segments received (goodput numerator).
+	UniqueSegs int64
+	// DupSegs counts duplicate arrivals (spurious retransmissions plus
+	// genuine duplicates).
+	DupSegs int64
+	// Reordered counts arrivals that were out of order (seq != cumAck at
+	// arrival and not a duplicate).
+	Reordered int64
+
+	maxTxSeq int64 // highest transmission counter seen, for TCP-DOOR
+}
+
+// CumAck returns the receiver's next expected sequence number.
+func (r *Receiver) CumAck() int64 { return r.cumAck }
+
+// OnData processes one arriving data segment and returns the ACK to send
+// back. An ACK is generated for every arrival (no delayed ACKs).
+func (r *Receiver) OnData(seg Seg, now sim.Time) Ack {
+	ack := Ack{
+		EchoSeq:   seg.Seq,
+		EchoStamp: seg.Stamp,
+		EchoTxSeq: seg.TxSeq,
+	}
+
+	// TCP-DOOR out-of-order detection: a data packet whose transmission
+	// counter is lower than one already seen arrived out of order.
+	if seg.TxSeq != 0 {
+		if seg.TxSeq < r.maxTxSeq {
+			ack.OOO = true
+		} else {
+			r.maxTxSeq = seg.TxSeq
+		}
+	}
+
+	switch {
+	case seg.Seq < r.cumAck || r.ooo.Contains(seg.Seq):
+		// Duplicate: report via DSACK (RFC 2883) and re-ACK.
+		r.DupSegs++
+		ack.DSACK = &SackBlock{Start: seg.Seq, End: seg.Seq + 1}
+	case seg.Seq == r.cumAck:
+		// In-order: advance the cumulative point across any OOO data
+		// that is now contiguous.
+		r.UniqueSegs++
+		r.cumAck = r.ooo.NextGapAbove(seg.Seq + 1)
+		r.ooo.DropBelow(r.cumAck)
+		r.trimRecent()
+	default:
+		// Out of order: buffer and SACK.
+		r.UniqueSegs++
+		r.Reordered++
+		r.ooo.Add(seg.Seq, seg.Seq+1)
+		r.noteRecent(seg.Seq)
+	}
+
+	ack.CumAck = r.cumAck
+	ack.Blocks = r.sackBlocks()
+	return ack
+}
+
+// noteRecent records that the OOO block containing seq changed most
+// recently, maintaining RFC 2018's "first block reports the most recent"
+// ordering.
+func (r *Receiver) noteRecent(seq int64) {
+	var blk SackBlock
+	for _, b := range r.ooo.Blocks() {
+		if b.Contains(seq) {
+			blk = b
+			break
+		}
+	}
+	// Drop stale entries for blocks this one merged with or extends.
+	kept := r.recent[:0]
+	for _, b := range r.recent {
+		if b.End < blk.Start || b.Start > blk.End {
+			kept = append(kept, b)
+		}
+	}
+	r.recent = append(kept, SackBlock{})
+	copy(r.recent[1:], r.recent[:len(r.recent)-1])
+	r.recent[0] = blk
+	if len(r.recent) > MaxSackBlocks {
+		r.recent = r.recent[:MaxSackBlocks]
+	}
+}
+
+// trimRecent discards recent-block records that fell below the cumulative
+// point or were merged away.
+func (r *Receiver) trimRecent() {
+	kept := r.recent[:0]
+	for _, b := range r.recent {
+		if b.End > r.cumAck && r.ooo.ContainsRange(max64(b.Start, r.cumAck), b.End) {
+			if b.Start < r.cumAck {
+				b.Start = r.cumAck
+			}
+			kept = append(kept, b)
+		}
+	}
+	r.recent = kept
+}
+
+// sackBlocks assembles the ACK's SACK blocks: most recently changed block
+// first, then the remaining newest blocks, expanded to the full extent of
+// the containing OOO block.
+func (r *Receiver) sackBlocks() []SackBlock {
+	if len(r.recent) == 0 {
+		return nil
+	}
+	out := make([]SackBlock, 0, len(r.recent))
+	for _, b := range r.recent {
+		// Report the block at its current (possibly grown) extent.
+		for _, cur := range r.ooo.Blocks() {
+			if cur.Start <= b.Start && cur.End >= b.End {
+				b = cur
+				break
+			}
+		}
+		dup := false
+		for _, o := range out {
+			if o == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// OOOBlocks exposes the receiver's buffered out-of-order blocks (tests and
+// traces only).
+func (r *Receiver) OOOBlocks() []SackBlock { return r.ooo.Blocks() }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,214 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReceiverInOrder(t *testing.T) {
+	var r Receiver
+	for seq := int64(0); seq < 5; seq++ {
+		ack := r.OnData(Seg{Seq: seq}, 0)
+		if ack.CumAck != seq+1 {
+			t.Fatalf("CumAck after seq %d = %d, want %d", seq, ack.CumAck, seq+1)
+		}
+		if len(ack.Blocks) != 0 {
+			t.Fatalf("in-order delivery produced SACK blocks: %v", ack.Blocks)
+		}
+		if ack.DSACK != nil {
+			t.Fatal("in-order delivery produced DSACK")
+		}
+	}
+	if r.UniqueSegs != 5 || r.DupSegs != 0 || r.Reordered != 0 {
+		t.Errorf("counters = (%d,%d,%d), want (5,0,0)", r.UniqueSegs, r.DupSegs, r.Reordered)
+	}
+}
+
+func TestReceiverHoleGeneratesDupAcksAndSack(t *testing.T) {
+	var r Receiver
+	r.OnData(Seg{Seq: 0}, 0)
+	// Segment 1 lost; 2, 3, 4 arrive.
+	for _, seq := range []int64{2, 3, 4} {
+		ack := r.OnData(Seg{Seq: seq}, 0)
+		if ack.CumAck != 1 {
+			t.Fatalf("CumAck = %d during hole, want 1", ack.CumAck)
+		}
+		if len(ack.Blocks) != 1 {
+			t.Fatalf("want exactly one SACK block, got %v", ack.Blocks)
+		}
+		if ack.Blocks[0].Start != 2 || ack.Blocks[0].End != seq+1 {
+			t.Fatalf("SACK block = %v after seq %d, want [2,%d)", ack.Blocks[0], seq, seq+1)
+		}
+	}
+	// Retransmission of 1 fills the hole.
+	ack := r.OnData(Seg{Seq: 1}, 0)
+	if ack.CumAck != 5 {
+		t.Fatalf("CumAck after fill = %d, want 5", ack.CumAck)
+	}
+	if len(ack.Blocks) != 0 {
+		t.Fatalf("blocks after hole filled = %v, want none", ack.Blocks)
+	}
+}
+
+func TestReceiverMostRecentBlockFirst(t *testing.T) {
+	var r Receiver
+	r.OnData(Seg{Seq: 0}, 0)
+	r.OnData(Seg{Seq: 2}, 0)        // block A [2,3)
+	r.OnData(Seg{Seq: 5}, 0)        // block B [5,6)
+	ack := r.OnData(Seg{Seq: 8}, 0) // block C [8,9)
+	want := []SackBlock{{8, 9}, {5, 6}, {2, 3}}
+	if len(ack.Blocks) != 3 {
+		t.Fatalf("blocks = %v, want 3", ack.Blocks)
+	}
+	for i, b := range want {
+		if ack.Blocks[i] != b {
+			t.Fatalf("blocks = %v, want %v", ack.Blocks, want)
+		}
+	}
+	// Touching block A again moves it to the front, grown.
+	ack = r.OnData(Seg{Seq: 3}, 0)
+	if ack.Blocks[0] != (SackBlock{2, 4}) {
+		t.Fatalf("most recent block = %v, want [2,4)", ack.Blocks[0])
+	}
+}
+
+func TestReceiverSackBlockLimit(t *testing.T) {
+	var r Receiver
+	r.OnData(Seg{Seq: 0}, 0)
+	for _, seq := range []int64{2, 4, 6, 8, 10} {
+		r.OnData(Seg{Seq: seq}, 0)
+	}
+	ack := r.OnData(Seg{Seq: 12}, 0)
+	if len(ack.Blocks) != MaxSackBlocks {
+		t.Fatalf("ACK carries %d blocks, want %d", len(ack.Blocks), MaxSackBlocks)
+	}
+	if ack.Blocks[0] != (SackBlock{12, 13}) {
+		t.Fatalf("first block = %v, want the newest [12,13)", ack.Blocks[0])
+	}
+}
+
+func TestReceiverDSACKOnDuplicate(t *testing.T) {
+	var r Receiver
+	r.OnData(Seg{Seq: 0}, 0)
+	r.OnData(Seg{Seq: 1}, 0)
+	// Below cumack.
+	ack := r.OnData(Seg{Seq: 0, Retx: true}, 0)
+	if ack.DSACK == nil || *ack.DSACK != (SackBlock{0, 1}) {
+		t.Fatalf("DSACK = %v, want [0,1)", ack.DSACK)
+	}
+	if ack.CumAck != 2 {
+		t.Errorf("duplicate must still carry cumack 2, got %d", ack.CumAck)
+	}
+	// Duplicate of buffered OOO data.
+	r.OnData(Seg{Seq: 5}, 0)
+	ack = r.OnData(Seg{Seq: 5}, 0)
+	if ack.DSACK == nil || *ack.DSACK != (SackBlock{5, 6}) {
+		t.Fatalf("OOO duplicate DSACK = %v, want [5,6)", ack.DSACK)
+	}
+	if r.DupSegs != 2 {
+		t.Errorf("DupSegs = %d, want 2", r.DupSegs)
+	}
+	if r.UniqueSegs != 3 {
+		t.Errorf("UniqueSegs = %d, want 3", r.UniqueSegs)
+	}
+}
+
+func TestReceiverReorderingWithoutLoss(t *testing.T) {
+	var r Receiver
+	// Arrival order 1,0,3,2: classic two-packet swaps.
+	r.OnData(Seg{Seq: 1}, 0)
+	ack := r.OnData(Seg{Seq: 0}, 0)
+	if ack.CumAck != 2 {
+		t.Fatalf("CumAck = %d after swap, want 2", ack.CumAck)
+	}
+	r.OnData(Seg{Seq: 3}, 0)
+	ack = r.OnData(Seg{Seq: 2}, 0)
+	if ack.CumAck != 4 {
+		t.Fatalf("CumAck = %d after second swap, want 4", ack.CumAck)
+	}
+	if r.Reordered != 2 {
+		t.Errorf("Reordered = %d, want 2", r.Reordered)
+	}
+	if r.DupSegs != 0 {
+		t.Errorf("no duplicates were sent, DupSegs = %d", r.DupSegs)
+	}
+}
+
+func TestReceiverDoorOOODetection(t *testing.T) {
+	var r Receiver
+	a1 := r.OnData(Seg{Seq: 0, TxSeq: 1}, 0)
+	a2 := r.OnData(Seg{Seq: 2, TxSeq: 3}, 0)
+	a3 := r.OnData(Seg{Seq: 1, TxSeq: 2}, 0) // transmitted earlier, arrived later
+	if a1.OOO || a2.OOO {
+		t.Error("in-order transmission counters flagged as OOO")
+	}
+	if !a3.OOO {
+		t.Error("out-of-order transmission counter not flagged")
+	}
+	if a3.EchoTxSeq != 2 {
+		t.Errorf("EchoTxSeq = %d, want 2", a3.EchoTxSeq)
+	}
+}
+
+// Property: whatever the arrival order and duplication pattern, the
+// cumulative ack equals the first gap of the delivered set, never
+// regresses, and UniqueSegs counts distinct sequences exactly.
+func TestReceiverCumAckProperty(t *testing.T) {
+	f := func(arrivals []uint8) bool {
+		var r Receiver
+		seen := map[int64]bool{}
+		lastCum := int64(0)
+		for _, a := range arrivals {
+			seq := int64(a % 32)
+			ack := r.OnData(Seg{Seq: seq}, 0)
+			wasDup := seen[seq]
+			seen[seq] = true
+			if wasDup && ack.DSACK == nil {
+				return false
+			}
+			if !wasDup && ack.DSACK != nil {
+				return false
+			}
+			var wantCum int64
+			for seen[wantCum] {
+				wantCum++
+			}
+			if ack.CumAck != wantCum || ack.CumAck < lastCum {
+				return false
+			}
+			lastCum = ack.CumAck
+		}
+		return r.UniqueSegs == int64(len(seen))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SACK blocks never include the cumulative range, never overlap,
+// and always describe data the receiver actually holds.
+func TestReceiverSackConsistencyProperty(t *testing.T) {
+	f := func(arrivals []uint8) bool {
+		var r Receiver
+		seen := map[int64]bool{}
+		for _, a := range arrivals {
+			seq := int64(a % 32)
+			ack := r.OnData(Seg{Seq: seq}, 0)
+			seen[seq] = true
+			for _, b := range ack.Blocks {
+				if b.Start < ack.CumAck || b.Len() <= 0 {
+					return false
+				}
+				for s := b.Start; s < b.End; s++ {
+					if !seen[s] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

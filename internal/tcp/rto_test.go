@@ -1,0 +1,123 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRTOInitialValue(t *testing.T) {
+	e := NewRTOEstimator(0, 0, 0)
+	if got := e.RTO(); got != DefaultInitialRTO {
+		t.Errorf("initial RTO = %v, want %v", got, DefaultInitialRTO)
+	}
+	if e.HasSample() {
+		t.Error("fresh estimator claims to have a sample")
+	}
+}
+
+func TestRTOFirstSample(t *testing.T) {
+	e := NewRTOEstimator(0, 0, 0)
+	e.OnSample(100 * time.Millisecond)
+	// SRTT = 100ms, RTTVAR = 50ms, RTO = 300ms, floored to 1s.
+	if e.SRTT() != 100*time.Millisecond {
+		t.Errorf("SRTT = %v, want 100ms", e.SRTT())
+	}
+	if got := e.RTO(); got != time.Second {
+		t.Errorf("RTO = %v, want the 1s floor", got)
+	}
+}
+
+func TestRTOJacobsonUpdate(t *testing.T) {
+	e := NewRTOEstimator(time.Millisecond, 0, 0) // low floor to expose the formula
+	e.OnSample(100 * time.Millisecond)
+	e.OnSample(200 * time.Millisecond)
+	// RTTVAR = 3/4*50 + 1/4*|100-200| = 62.5ms; SRTT = 7/8*100 + 1/8*200 = 112.5ms.
+	wantSRTT := 112500 * time.Microsecond
+	if e.SRTT() != wantSRTT {
+		t.Errorf("SRTT = %v, want %v", e.SRTT(), wantSRTT)
+	}
+	want := wantSRTT + 4*62500*time.Microsecond
+	if got := e.RTO(); got != want {
+		t.Errorf("RTO = %v, want %v", got, want)
+	}
+}
+
+func TestRTOBackoffDoublesAndCaps(t *testing.T) {
+	e := NewRTOEstimator(time.Second, 8*time.Second, 0)
+	e.OnSample(10 * time.Millisecond) // RTO floors at 1s
+	seen := []time.Duration{e.RTO()}
+	for i := 0; i < 6; i++ {
+		e.Backoff()
+		seen = append(seen, e.RTO())
+	}
+	want := []time.Duration{1, 2, 4, 8, 8, 8, 8}
+	for i, w := range want {
+		if seen[i] != w*time.Second {
+			t.Fatalf("RTO sequence %v, want %v seconds", seen, want)
+		}
+	}
+	// A fresh sample clears the back-off.
+	e.OnSample(10 * time.Millisecond)
+	if e.RTO() != time.Second {
+		t.Errorf("RTO after sample = %v, want 1s", e.RTO())
+	}
+}
+
+func TestRTONonPositiveSample(t *testing.T) {
+	e := NewRTOEstimator(0, 0, 0)
+	e.OnSample(0) // must not panic or poison the estimator
+	if !e.HasSample() {
+		t.Error("zero sample should still count as a sample")
+	}
+	if e.RTO() < DefaultMinRTO {
+		t.Error("RTO fell below the floor")
+	}
+}
+
+// Property: RTO is always within [minRTO, maxRTO] whatever samples and
+// backoffs are applied.
+func TestRTOBoundsProperty(t *testing.T) {
+	f := func(samples []uint32, backoffs uint8) bool {
+		e := NewRTOEstimator(0, 0, 0)
+		for _, s := range samples {
+			e.OnSample(time.Duration(s%5_000_000) * time.Microsecond)
+		}
+		for i := uint8(0); i < backoffs%12; i++ {
+			e.Backoff()
+		}
+		rto := e.RTO()
+		return rto >= DefaultMinRTO && rto <= DefaultMaxRTO
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendTimesKarn(t *testing.T) {
+	var st SendTimes
+	st.Sent(1, 1000, false)
+	st.Sent(2, 2000, false)
+	st.Sent(2, 5000, true) // retransmission of 2
+
+	if rtt, ok := st.Sample(1, 4000); !ok || rtt != 3000 {
+		t.Errorf("Sample(1) = (%v,%v), want (3000,true)", rtt, ok)
+	}
+	if _, ok := st.Sample(2, 9000); ok {
+		t.Error("Karn's rule: retransmitted segment must not yield a sample")
+	}
+	if _, ok := st.Sample(99, 0); ok {
+		t.Error("unknown segment must not yield a sample")
+	}
+	if !st.WasRetx(2) || st.WasRetx(1) {
+		t.Error("WasRetx bookkeeping wrong")
+	}
+
+	st.Forget(2)
+	if _, ok := st.SentAt(1); ok {
+		t.Error("Forget(2) should drop seq 1")
+	}
+	if at, ok := st.SentAt(2); !ok || at != 5000 {
+		t.Error("Forget(2) should keep seq 2")
+	}
+}

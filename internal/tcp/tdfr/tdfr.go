@@ -1,0 +1,86 @@
+// Package tdfr implements time-delayed fast recovery (TD-FR), the
+// timer-assisted reordering heuristic first proposed by Paxson and
+// analyzed by Blanton–Allman [3,18], which the paper compares TCP-PR
+// against: when the first duplicate ACK arrives a timer is started, and
+// fast retransmit is entered only if duplicates persist past
+// max(RTT/2, DT), where DT is the spacing between the first and third
+// duplicate ACK.
+//
+// TD-FR is expressed as a reno.Trigger, so the sender is the full NewReno
+// machinery from package reno with only the recovery-entry rule replaced.
+package tdfr
+
+import (
+	"time"
+
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/tcp/reno"
+)
+
+// Trigger is the TD-FR recovery-entry rule.
+type Trigger struct {
+	sched *sim.Scheduler
+
+	firstDup sim.Time
+	timer    *sim.Event
+}
+
+// NewTrigger returns a TD-FR trigger bound to the simulation scheduler.
+func NewTrigger(sched *sim.Scheduler) *Trigger {
+	return &Trigger{sched: sched}
+}
+
+var _ reno.Trigger = (*Trigger)(nil)
+
+// OnDupAck implements reno.Trigger: arm at the first duplicate for
+// firstDup + RTT/2; on the third duplicate extend the deadline to
+// firstDup + max(RTT/2, DT).
+func (t *Trigger) OnDupAck(count int, srtt time.Duration, fire func()) {
+	now := t.sched.Now()
+	switch count {
+	case 1:
+		t.firstDup = now
+		t.arm(t.firstDup+srtt/2, fire)
+	case 3:
+		dt := now - t.firstDup
+		threshold := srtt / 2
+		if dt > threshold {
+			threshold = dt
+		}
+		t.arm(t.firstDup+threshold, fire)
+	}
+}
+
+// arm (re)schedules the trigger; a deadline in the past fires immediately.
+func (t *Trigger) arm(deadline sim.Time, fire func()) {
+	if t.timer != nil {
+		t.timer.Cancel()
+	}
+	if deadline <= t.sched.Now() {
+		t.timer = nil
+		fire()
+		return
+	}
+	t.timer = t.sched.At(deadline, fire)
+}
+
+// OnAdvance implements reno.Trigger: a cumulative advance means the
+// duplicates were reordering, not loss — cancel the pending retransmit.
+func (t *Trigger) OnAdvance() {
+	if t.timer != nil {
+		t.timer.Cancel()
+		t.timer = nil
+	}
+}
+
+// New builds the complete TD-FR sender: NewReno with the TD-FR trigger
+// and RFC 3042 limited transmit (per [3], limited transmit is what keeps
+// TD-FR's delayed retransmissions from going bursty — and the paper notes
+// it is only partly successful at long RTTs).
+func New(env tcp.SenderEnv, cfg reno.Config) *reno.Sender {
+	cfg.NewReno = true
+	cfg.LimitedTransmit = true
+	cfg.Trigger = NewTrigger(env.Sched)
+	return reno.New(env, cfg)
+}

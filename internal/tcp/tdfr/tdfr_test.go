@@ -1,0 +1,137 @@
+package tdfr
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/tcp/reno"
+)
+
+type harness struct {
+	sched *sim.Scheduler
+	sent  []tcp.Seg
+}
+
+func newHarness() *harness { return &harness{sched: sim.NewScheduler()} }
+
+func (h *harness) env() tcp.SenderEnv {
+	return tcp.SenderEnv{
+		Sched: h.sched,
+		Transmit: func(seg tcp.Seg) bool {
+			h.sent = append(h.sent, seg)
+			return true
+		},
+	}
+}
+
+func (h *harness) take() []tcp.Seg {
+	out := h.sent
+	h.sent = nil
+	return out
+}
+
+func cum(n int64) tcp.Ack { return tcp.Ack{CumAck: n, EchoSeq: n - 1} }
+
+func dup(una, echo int64) tcp.Ack { return tcp.Ack{CumAck: una, EchoSeq: echo} }
+
+// grow drives the sender with a fixed 100ms RTT so SRTT is meaningful.
+func grow(t *testing.T, h *harness, s *reno.Sender, n float64) {
+	t.Helper()
+	s.Start()
+	acked := int64(0)
+	for s.Cwnd() < n {
+		segs := h.take()
+		if len(segs) == 0 {
+			t.Fatal("stalled")
+		}
+		h.sched.RunUntil(h.sched.Now() + 100*time.Millisecond)
+		for range segs {
+			acked++
+			s.OnAck(cum(acked))
+		}
+	}
+	h.take()
+}
+
+func TestTDFRDelaysFastRetransmit(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), reno.Config{})
+	grow(t, h, s, 8)
+	una := s.Una()
+	t0 := h.sched.Now()
+
+	// Three rapid duplicate ACKs: classic Reno would retransmit at the
+	// third; TD-FR must wait for max(RTT/2, DT).
+	s.OnAck(dup(una, una+1))
+	h.sched.RunUntil(t0 + 2*time.Millisecond)
+	s.OnAck(dup(una, una+2))
+	h.sched.RunUntil(t0 + 4*time.Millisecond)
+	s.OnAck(dup(una, una+3)) // DT = 4ms << SRTT/2 = 50ms
+	if s.InRecovery() {
+		t.Fatal("TD-FR retransmitted immediately on the third dup ACK")
+	}
+	// Not yet at t0+49ms...
+	h.sched.RunUntil(t0 + 49*time.Millisecond)
+	if s.InRecovery() {
+		t.Fatal("TD-FR fired before RTT/2 elapsed")
+	}
+	// ...but by t0+51ms the timer fires.
+	h.sched.RunUntil(t0 + 51*time.Millisecond)
+	if !s.InRecovery() {
+		t.Fatal("TD-FR did not fire after RTT/2 of persistent duplicates")
+	}
+}
+
+func TestTDFRCancelledByCumAckAdvance(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), reno.Config{})
+	grow(t, h, s, 8)
+	una := s.Una()
+	t0 := h.sched.Now()
+	for i := int64(1); i <= 3; i++ {
+		s.OnAck(dup(una, una+i))
+	}
+	// The "missing" packet was only reordered; it arrives before the
+	// timer expires and the cumulative ACK advances.
+	h.sched.RunUntil(t0 + 20*time.Millisecond)
+	s.OnAck(cum(una + 4))
+	h.sched.RunUntil(t0 + 200*time.Millisecond)
+	if s.FastRecoveries != 0 {
+		t.Error("TD-FR fired despite the cumulative ACK advancing in time")
+	}
+}
+
+func TestTDFRUsesDupAckSpacingWhenLarge(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), reno.Config{})
+	grow(t, h, s, 8)
+	una := s.Una()
+	t0 := h.sched.Now()
+	// DT = 80ms > SRTT/2 = 50ms: the deadline must be t0+80ms.
+	s.OnAck(dup(una, una+1))
+	h.sched.RunUntil(t0 + 40*time.Millisecond)
+	s.OnAck(dup(una, una+2))
+	h.sched.RunUntil(t0 + 80*time.Millisecond)
+	s.OnAck(dup(una, una+3))
+	// The third dup arrived exactly at the extended deadline: fires now.
+	if !s.InRecovery() {
+		h.sched.RunUntil(t0 + 81*time.Millisecond)
+		if !s.InRecovery() {
+			t.Fatal("TD-FR did not fire at the DT deadline")
+		}
+	}
+}
+
+func TestTDFRIsNewRenoWithLimitedTransmit(t *testing.T) {
+	h := newHarness()
+	s := New(h.env(), reno.Config{})
+	grow(t, h, s, 4)
+	una := s.Una()
+	// Limited transmit: the first dup ACK releases one new segment.
+	s.OnAck(dup(una, una+1))
+	if got := len(h.take()); got != 1 {
+		t.Errorf("first dup ACK released %d segments, want 1 (limited transmit)", got)
+	}
+}

@@ -1,0 +1,145 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/netem"
+	"tcppr/internal/sim"
+)
+
+func TestDumbbellStructure(t *testing.T) {
+	d := NewDumbbell(sim.NewScheduler(), DumbbellConfig{Hosts: 3})
+	if d.Bottleneck == nil || d.Bottleneck.Bandwidth != Mbps(15) {
+		t.Fatal("bottleneck missing or wrong bandwidth")
+	}
+	for i := 0; i < 3; i++ {
+		fwd, rev := d.FwdPath(i), d.RevPath(i)
+		if len(fwd) != 3 || len(rev) != 3 {
+			t.Fatalf("host %d paths have %d/%d hops, want 3/3", i, len(fwd), len(rev))
+		}
+		if netem.PathNames(fwd) == "" {
+			t.Fatal("path not contiguous")
+		}
+		// Forward path crosses the bottleneck.
+		if fwd[1] != d.Bottleneck {
+			t.Errorf("host %d forward path does not use the bottleneck", i)
+		}
+	}
+	// Hosts: 3 sources + 3 sinks + L + R.
+	if got := d.Net.Nodes(); got != 8 {
+		t.Errorf("nodes = %d, want 8", got)
+	}
+}
+
+func TestDumbbellValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero hosts must panic")
+		}
+	}()
+	NewDumbbell(sim.NewScheduler(), DumbbellConfig{})
+}
+
+func TestParkingLotBandwidths(t *testing.T) {
+	p := NewParkingLot(sim.NewScheduler(), 2, 0)
+	cases := map[[2]string]int64{
+		{"CS1", "r1"}: Mbps(5),
+		{"CS2", "r2"}: Mbps(1.66),
+		{"CS3", "r3"}: Mbps(2.5),
+		{"r1", "r2"}:  Mbps(15),
+		{"r2", "r3"}:  Mbps(15),
+		{"r3", "r4"}:  Mbps(15),
+	}
+	for pair, bw := range cases {
+		l := p.Net.FindLink(pair[0], pair[1])
+		if l == nil {
+			t.Fatalf("missing link %v", pair)
+		}
+		if l.Bandwidth != bw {
+			t.Errorf("link %v bandwidth = %d, want %d", pair, l.Bandwidth, bw)
+		}
+	}
+}
+
+func TestParkingLotMainPathCrossesAllBottlenecks(t *testing.T) {
+	p := NewParkingLot(sim.NewScheduler(), 1, 0)
+	path := p.MainFwd(0)
+	if got := netem.PathNames(path); got != "S0->r1->r2->r3->r4->D0" {
+		t.Errorf("main path = %s", got)
+	}
+	rev := p.MainRev(0)
+	if got := netem.PathNames(rev); got != "D0->r4->r3->r2->r1->S0" {
+		t.Errorf("main reverse path = %s", got)
+	}
+}
+
+func TestParkingLotCrossPaths(t *testing.T) {
+	p := NewParkingLot(sim.NewScheduler(), 1, 0)
+	want := map[CrossPair]string{
+		{"CS1", "CD1"}: "CS1->r1->r2->CD1",
+		{"CS1", "CD2"}: "CS1->r1->r2->r3->CD2",
+		{"CS1", "CD3"}: "CS1->r1->r2->r3->r4->CD3",
+		{"CS2", "CD2"}: "CS2->r2->r3->CD2",
+		{"CS2", "CD3"}: "CS2->r2->r3->r4->CD3",
+		{"CS3", "CD3"}: "CS3->r3->r4->CD3",
+	}
+	if len(CrossPairs()) != 6 {
+		t.Fatalf("CrossPairs = %d, want 6 (paper's set)", len(CrossPairs()))
+	}
+	for _, cp := range CrossPairs() {
+		got := netem.PathNames(p.CrossFwd(cp))
+		if got != want[cp] {
+			t.Errorf("cross %v path = %s, want %s", cp, got, want[cp])
+		}
+		rev := netem.PathNames(p.CrossRev(cp))
+		if rev == "" {
+			t.Errorf("cross %v has no reverse path", cp)
+		}
+	}
+}
+
+func TestMultipathDisjointPaths(t *testing.T) {
+	m := NewMultipath(sim.NewScheduler(), 3, 10*time.Millisecond)
+	if len(m.FwdPaths) != 3 || len(m.RevPaths) != 3 {
+		t.Fatalf("path counts = %d/%d, want 3/3", len(m.FwdPaths), len(m.RevPaths))
+	}
+	// Hop counts 2, 3, 4; delays 20, 30, 40 ms.
+	for i, p := range m.FwdPaths {
+		if len(p) != i+2 {
+			t.Errorf("path %d has %d hops, want %d", i, len(p), i+2)
+		}
+		want := time.Duration(i+2) * 10 * time.Millisecond
+		if got := netem.PathDelay(p); got != want {
+			t.Errorf("path %d delay = %v, want %v", i, got, want)
+		}
+		for _, l := range p {
+			if l.Bandwidth != Mbps(10) {
+				t.Errorf("path %d link %s bandwidth = %d, want 10 Mbps", i, l, l.Bandwidth)
+			}
+			if l.QueueCap != DefaultQueue {
+				t.Errorf("path %d link %s queue = %d, want %d", i, l, l.QueueCap, DefaultQueue)
+			}
+		}
+	}
+	// Disjointness: no intermediate node shared between paths.
+	seen := map[string]int{}
+	for i, p := range m.FwdPaths {
+		for _, l := range p[:len(p)-1] {
+			name := l.To.Name
+			if prev, ok := seen[name]; ok && prev != i {
+				t.Errorf("node %s shared between paths %d and %d", name, prev, i)
+			}
+			seen[name] = i
+		}
+	}
+}
+
+func TestMultipathValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero delay must panic")
+		}
+	}()
+	NewMultipath(sim.NewScheduler(), 3, 0)
+}

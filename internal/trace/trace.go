@@ -1,0 +1,157 @@
+// Package trace records per-packet events from a flow — the equivalent of
+// ns-2's trace files — and derives reordering metrics from them: reorder
+// rate, reorder extent (how far early a late packet's successors got), and
+// a late-time histogram. Experiments use it for debugging and for
+// quantifying how much reordering each ε setting actually produces.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+)
+
+// Kind labels one trace event.
+type Kind byte
+
+// Event kinds.
+const (
+	DataSent Kind = 's'
+	DataRecv Kind = 'r'
+	AckSent  Kind = 'a'
+	AckRecv  Kind = 'k'
+)
+
+// Event is one recorded packet event.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Seq  int64
+	Cum  int64 // ACK events: cumulative ack value
+	Retx bool
+}
+
+// Recorder captures a flow's events through tcp.FlowHooks. Attach before
+// the simulation starts:
+//
+//	rec := trace.NewRecorder()
+//	rec.Attach(flow)
+type Recorder struct {
+	Events []Event
+
+	// maxRecvSeq tracks the highest data sequence seen at the receiver,
+	// for online reorder accounting.
+	maxRecvSeq   int64
+	seenAny      bool
+	reorderCount int
+	extents      []int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Attach wires the recorder into a flow's hooks. Any previously installed
+// hooks are chained.
+func (r *Recorder) Attach(f *tcp.Flow) {
+	prev := f.Hooks
+	f.Hooks = tcp.FlowHooks{
+		OnDataSent: func(seg tcp.Seg, now sim.Time) {
+			r.Events = append(r.Events, Event{At: now, Kind: DataSent, Seq: seg.Seq, Retx: seg.Retx})
+			if prev.OnDataSent != nil {
+				prev.OnDataSent(seg, now)
+			}
+		},
+		OnDataRecv: func(seg tcp.Seg, now sim.Time) {
+			r.Events = append(r.Events, Event{At: now, Kind: DataRecv, Seq: seg.Seq, Retx: seg.Retx})
+			r.noteArrival(seg)
+			if prev.OnDataRecv != nil {
+				prev.OnDataRecv(seg, now)
+			}
+		},
+		OnAckSent: func(ack tcp.Ack, now sim.Time) {
+			r.Events = append(r.Events, Event{At: now, Kind: AckSent, Seq: ack.EchoSeq, Cum: ack.CumAck})
+			if prev.OnAckSent != nil {
+				prev.OnAckSent(ack, now)
+			}
+		},
+		OnAckRecv: func(ack tcp.Ack, now sim.Time) {
+			r.Events = append(r.Events, Event{At: now, Kind: AckRecv, Seq: ack.EchoSeq, Cum: ack.CumAck})
+			if prev.OnAckRecv != nil {
+				prev.OnAckRecv(ack, now)
+			}
+		},
+	}
+}
+
+// noteArrival updates the online reorder metrics: an arrival below the
+// maximum sequence already seen is reordered, with extent equal to how far
+// below the maximum it landed.
+func (r *Recorder) noteArrival(seg tcp.Seg) {
+	if seg.Retx {
+		return // retransmissions are late by construction, not reordered
+	}
+	if !r.seenAny || seg.Seq > r.maxRecvSeq {
+		r.maxRecvSeq = seg.Seq
+		r.seenAny = true
+		return
+	}
+	r.reorderCount++
+	r.extents = append(r.extents, r.maxRecvSeq-seg.Seq)
+}
+
+// ReorderRate returns the fraction of original (non-retransmitted) data
+// arrivals that were out of order.
+func (r *Recorder) ReorderRate() float64 {
+	var arrivals int
+	for _, e := range r.Events {
+		if e.Kind == DataRecv && !e.Retx {
+			arrivals++
+		}
+	}
+	if arrivals == 0 {
+		return 0
+	}
+	return float64(r.reorderCount) / float64(arrivals)
+}
+
+// ReorderExtents returns the distribution of reorder extents (in packets):
+// min, median, max. All zero when no reordering occurred.
+func (r *Recorder) ReorderExtents() (min, median, max int64) {
+	if len(r.extents) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]int64(nil), r.extents...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[0], s[len(s)/2], s[len(s)-1]
+}
+
+// WriteTSV dumps the event log in an ns-2-like one-line-per-event format:
+// time kind seq cum retx.
+func (r *Recorder) WriteTSV(w io.Writer) error {
+	for _, e := range r.Events {
+		retx := 0
+		if e.Retx {
+			retx = 1
+		}
+		if _, err := fmt.Fprintf(w, "%.6f\t%c\t%d\t%d\t%d\n",
+			time.Duration(e.At).Seconds(), e.Kind, e.Seq, e.Cum, retx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountKind returns the number of recorded events of one kind.
+func (r *Recorder) CountKind(k Kind) int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"tcppr/internal/netem"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+)
+
+// OnOffConfig describes a web-like background-traffic source: a sequence
+// of short transfers ("pages") with Pareto-distributed sizes separated by
+// exponential think times. Short flows spend their lives in slow start
+// and produce the bursty, loss-inducing cross traffic that long-lived FTP
+// flows alone cannot, which is how evaluation setups of the paper's era
+// stressed fairness results.
+type OnOffConfig struct {
+	// MeanSizePkts is the mean transfer size in packets (default 20).
+	MeanSizePkts float64
+	// ParetoShape is the size distribution's tail index (default 1.5,
+	// the classic heavy-tailed web value; must be > 1 for a finite mean).
+	ParetoShape float64
+	// MeanThink is the mean off period between transfers (default 500 ms).
+	MeanThink time.Duration
+	// Protocol carries each transfer (default TCP-SACK).
+	Protocol string
+}
+
+func (c *OnOffConfig) fill() {
+	if c.MeanSizePkts == 0 {
+		c.MeanSizePkts = 20
+	}
+	if c.ParetoShape == 0 {
+		c.ParetoShape = 1.5
+	}
+	if c.ParetoShape <= 1 {
+		panic("workload: ParetoShape must exceed 1")
+	}
+	if c.MeanThink == 0 {
+		c.MeanThink = 500 * time.Millisecond
+	}
+	if c.Protocol == "" {
+		c.Protocol = TCPSACK
+	}
+}
+
+// OnOffSource generates back-to-back finite transfers between two nodes.
+// Each transfer runs as its own flow (a fresh connection, like a browser
+// fetch); when the transfer's data is delivered the source thinks, then
+// starts the next one.
+type OnOffSource struct {
+	cfg      OnOffConfig
+	net      *netem.Network
+	src, dst *netem.Node
+	fwd, rev routing.Router
+	rng      *rand.Rand
+	flowBase int
+
+	// Transfers counts completed transfers; BytesDelivered sums their
+	// delivered payload.
+	Transfers      int
+	BytesDelivered int64
+
+	cur       *tcp.Flow
+	curTarget int64
+	flowSeq   int
+}
+
+// NewOnOffSource wires a source between two nodes. flowBase is the base
+// for the (unique) per-transfer flow IDs; each source needs its own
+// disjoint ID range. The RNG must come from sim.NewRand.
+func NewOnOffSource(net *netem.Network, flowBase int, src, dst *netem.Node, fwd, rev routing.Router, cfg OnOffConfig, rng *rand.Rand) *OnOffSource {
+	cfg.fill()
+	if rng == nil {
+		panic("workload: NewOnOffSource requires a seeded RNG")
+	}
+	return &OnOffSource{
+		cfg: cfg, net: net, src: src, dst: dst, fwd: fwd, rev: rev,
+		rng: rng, flowBase: flowBase,
+	}
+}
+
+// Start schedules the first transfer at the given time.
+func (s *OnOffSource) Start(at sim.Time) {
+	s.net.Scheduler().At(at, s.beginTransfer)
+}
+
+// pareto draws a Pareto(shape, xm) sample with the configured mean:
+// mean = xm*shape/(shape-1) => xm = mean*(shape-1)/shape.
+func (s *OnOffSource) pareto() int64 {
+	xm := s.cfg.MeanSizePkts * (s.cfg.ParetoShape - 1) / s.cfg.ParetoShape
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	size := xm / math.Pow(u, 1/s.cfg.ParetoShape)
+	if size < 1 {
+		size = 1
+	}
+	if size > 10000 {
+		size = 10000 // cap the tail so one draw cannot dominate a run
+	}
+	return int64(size)
+}
+
+// beginTransfer opens a fresh connection for the next page.
+func (s *OnOffSource) beginTransfer() {
+	s.flowSeq++
+	id := s.flowBase + s.flowSeq
+	target := s.pareto()
+	f := tcp.NewFlow(s.net, id, s.src, s.dst, s.fwd, s.rev)
+	s.cur = f
+	s.curTarget = target * int64(f.PktSize)
+
+	// The sender stops on its own at the MaxData limit; completion is
+	// observed on the receiver side (all `target` distinct segments
+	// arrived), polled at an RTT-ish interval.
+	var poll func()
+	poll = func() {
+		if f.UniqueBytes() >= s.curTarget {
+			s.finishTransfer()
+			return
+		}
+		s.net.Scheduler().After(20*time.Millisecond, poll)
+	}
+	f.Attach(Factory(s.cfg.Protocol, PRParams{MaxDataPkts: target}))
+	f.Start(s.net.Scheduler().Now())
+	s.net.Scheduler().After(20*time.Millisecond, poll)
+}
+
+// finishTransfer books the page and schedules the next one after an
+// exponential think time.
+func (s *OnOffSource) finishTransfer() {
+	s.Transfers++
+	s.BytesDelivered += s.cur.UniqueBytes()
+	think := time.Duration(s.rng.ExpFloat64() * float64(s.cfg.MeanThink))
+	s.net.Scheduler().After(think, s.beginTransfer)
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+)
+
+func TestOnOffSourceCompletesTransfers(t *testing.T) {
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	src := NewOnOffSource(d.Net, 50_000, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)},
+		OnOffConfig{MeanSizePkts: 10, MeanThink: 100 * time.Millisecond},
+		sim.NewRand(21))
+	src.Start(0)
+	sched.RunUntil(60 * time.Second)
+	if src.Transfers < 20 {
+		t.Fatalf("completed %d transfers in 60s, want >= 20", src.Transfers)
+	}
+	if src.BytesDelivered < int64(src.Transfers)*1000 {
+		t.Errorf("BytesDelivered = %d across %d transfers looks too small",
+			src.BytesDelivered, src.Transfers)
+	}
+}
+
+// TestOnOffQuiescence verifies finite senders actually stop: after the
+// source is done thinking and all transfers complete, the event queue must
+// drain rather than churn on orphaned retransmission timers.
+func TestOnOffQuiescence(t *testing.T) {
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	// Each protocol family gets one finite transfer.
+	for i, proto := range []string{TCPPR, TCPSACK, NewReno, TDFR, TCPDOOR, Eifel} {
+		f := newFiniteFlow(t, d, i+1, proto, 50)
+		_ = f
+	}
+	// Run to completion; if senders leak timers this would spin until
+	// RunUntil's bound with pending events. After the horizon the queue
+	// must be empty.
+	sched.RunUntil(5 * time.Minute)
+	if n := sched.Len(); n != 0 {
+		t.Errorf("%d events still pending after all finite transfers completed", n)
+	}
+}
+
+func newFiniteFlow(t *testing.T, d *topo.Dumbbell, id int, proto string, pkts int64) *Flow {
+	t.Helper()
+	f := tcp.NewFlow(d.Net, id, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
+	return NewFlow(f, proto, PRParams{MaxDataPkts: pkts}, 0)
+}
