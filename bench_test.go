@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tcppr/internal/experiments"
+	"tcppr/internal/metrics"
 	"tcppr/internal/netem"
 	"tcppr/internal/routing"
 	"tcppr/internal/sim"
@@ -255,6 +256,47 @@ func benchSteadyState(b *testing.B, proto string) {
 			b.Fatal("no progress")
 		}
 	}
+}
+
+// BenchmarkSamplerOverhead quantifies the observability tax: the same
+// 8-flow dumbbell run bare and with the full instrumentation stack (a
+// registry, per-flow and per-link series, 100 ms sampling cadence). The
+// sampled/bare ns/op ratio is the subsystem's overhead; the acceptance
+// budget is < 5%.
+func BenchmarkSamplerOverhead(b *testing.B) {
+	run := func(b *testing.B, sampled bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sched := sim.NewScheduler()
+			d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 8})
+			starts := workload.StaggeredStarts(8, 0, 5*time.Second)
+			flows := make([]*workload.Flow, 8)
+			for j := 0; j < 8; j++ {
+				f := tcp.NewFlow(d.Net, j+1, d.Src(j), d.Dst(j),
+					routing.Static{Path: d.FwdPath(j)}, routing.Static{Path: d.RevPath(j)})
+				proto := workload.TCPPR
+				if j%2 == 1 {
+					proto = workload.TCPSACK
+				}
+				flows[j] = workload.NewFlow(f, proto, workload.PRParams{}, starts[j])
+			}
+			if sampled {
+				reg := metrics.New()
+				sp := metrics.NewSampler(sched, 0, 0)
+				for _, f := range flows {
+					metrics.InstrumentFlow(sp, reg, f.Flow, metrics.FlowPrefix(f.ID, f.Protocol))
+				}
+				metrics.InstrumentLink(sp, reg, d.Bottleneck, metrics.LinkPrefix(d.Bottleneck))
+				sp.Start(0)
+			}
+			sched.RunUntil(benchDur.Warm + benchDur.Measure)
+			if flows[0].Flow.Receiver().UniqueSegs == 0 {
+				b.Fatal("no progress")
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("sampled", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkEpsilonRouting measures the multipath router's per-packet

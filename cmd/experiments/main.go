@@ -2,15 +2,20 @@
 //
 // Usage:
 //
-//	experiments [-run name] [-quick] [-csv dir]
+//	experiments [-run name] [-fig n] [-quick] [-csv dir] [-metrics dir]
 //
 // Names: fig2, fig3, fig4, fig6 (the paper's figures), ablation-beta,
 // ablation-memorize, ablation-sendcwnd, ablation-holemode (design-choice
 // ablations), ext-threshold, ext-reorder, ext-robustness, ext-door
-// (extensions), or all (default). -quick substitutes shortened simulation
-// windows (useful for smoke runs); the default reproduces the paper's
-// 60-second steady-state measurement protocol. With -csv the raw
-// per-point data are also written as CSV files into the given directory.
+// (extensions), or all (default). -fig N is shorthand for -run figN.
+// -quick substitutes shortened simulation windows (useful for smoke
+// runs); the default reproduces the paper's 60-second steady-state
+// measurement protocol. With -csv the raw per-point data are also written
+// as CSV files into the given directory. With -metrics the figures also
+// emit one time-series dump (<cell>.series.tsv: cwnd, ssthresh, RTT
+// estimates, queue depth, drops) and one run manifest
+// (<cell>.manifest.json: seed, topology, parameters, events/sec, final
+// counters) per simulation cell, plus a run-level aggregate.
 package main
 
 import (
@@ -26,9 +31,15 @@ import (
 
 func main() {
 	runName := flag.String("run", "all", "experiment to run: fig2|fig3|fig4|fig6|ablation-beta|ablation-memorize|ablation-sendcwnd|ablation-holemode|ext-door|ext-reorder|ext-robustness|ext-threshold|all")
+	fig := flag.Int("fig", 0, "shorthand: -fig 2 is -run fig2")
 	quick := flag.Bool("quick", false, "use shortened simulation windows")
 	csvDir := flag.String("csv", "", "directory to write per-point CSV files into")
+	metricsDir := flag.String("metrics", "", "directory to write per-cell time series + run manifests into")
 	flag.Parse()
+
+	if *fig != 0 {
+		*runName = fmt.Sprintf("fig%d", *fig)
+	}
 
 	d := experiments.Full
 	if *quick {
@@ -41,6 +52,14 @@ func main() {
 		}
 	}
 
+	var mopts *experiments.MetricsOptions
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fatal(err)
+		}
+		mopts = &experiments.MetricsOptions{Dir: *metricsDir}
+	}
+
 	selected := func(name string) bool {
 		return *runName == "all" || *runName == name
 	}
@@ -50,39 +69,43 @@ func main() {
 		ran = true
 		for _, topology := range []string{"dumbbell", "parkinglot"} {
 			start := time.Now()
-			res := experiments.RunFig2(experiments.Fig2Config{Topology: topology, Durations: d})
+			res := experiments.RunFig2(experiments.Fig2Config{Topology: topology, Durations: d, Metrics: mopts})
 			printTable(res.Table(), start)
 			writeCSV(*csvDir, "fig2_"+topology+".csv", res.PerFlowTable())
 		}
+		writeAggregate(mopts, "fig2")
 	}
 	if selected("fig3") {
 		ran = true
 		for _, topology := range []string{"dumbbell", "parkinglot"} {
 			start := time.Now()
-			res := experiments.RunFig3(experiments.Fig3Config{Topology: topology, Durations: d})
+			res := experiments.RunFig3(experiments.Fig3Config{Topology: topology, Durations: d, Metrics: mopts})
 			printTable(res.MeanTable(), start)
 			writeCSV(*csvDir, "fig3_"+topology+".csv", res.Table())
 		}
+		writeAggregate(mopts, "fig3")
 	}
 	if selected("fig4") {
 		ran = true
 		for _, topology := range []string{"dumbbell", "parkinglot"} {
 			start := time.Now()
-			res := experiments.RunFig4(experiments.Fig4Config{Topology: topology, Durations: d})
+			res := experiments.RunFig4(experiments.Fig4Config{Topology: topology, Durations: d, Metrics: mopts})
 			printTable(res.Table(), start)
 			writeCSV(*csvDir, "fig4_"+topology+".csv", res.Table())
 		}
+		writeAggregate(mopts, "fig4")
 	}
 	if selected("fig6") {
 		ran = true
 		start := time.Now()
-		res := experiments.RunFig6(experiments.Fig6Config{Durations: d})
+		res := experiments.RunFig6(experiments.Fig6Config{Durations: d, Metrics: mopts})
 		for _, t := range res.Table() {
 			printTable(t, start)
 		}
 		for i, t := range res.Table() {
 			writeCSV(*csvDir, fmt.Sprintf("fig6_delay%d.csv", i), t)
 		}
+		writeAggregate(mopts, "fig6")
 	}
 	if selected("ablation-beta") {
 		ran = true
@@ -159,6 +182,15 @@ func firstWord(s string) string {
 		return s[:i]
 	}
 	return s
+}
+
+func writeAggregate(m *experiments.MetricsOptions, experiment string) {
+	if m == nil {
+		return
+	}
+	if err := m.WriteAggregate(experiment); err != nil {
+		fatal(err)
+	}
 }
 
 func writeCSV(dir, name string, t *experiments.Table) {

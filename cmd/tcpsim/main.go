@@ -12,9 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"tcppr/internal/metrics"
+	"tcppr/internal/netem"
 	"tcppr/internal/routing"
 	"tcppr/internal/sim"
 	"tcppr/internal/stats"
@@ -34,6 +37,7 @@ func main() {
 	alpha := flag.Float64("alpha", 0.995, "TCP-PR alpha")
 	beta := flag.Float64("beta", 3.0, "TCP-PR beta")
 	seed := flag.Int64("seed", 42, "random seed")
+	metricsDir := flag.String("metrics", "", "directory to write time series + a run manifest into")
 	flag.Parse()
 
 	protos := strings.Split(*protocols, ",")
@@ -49,23 +53,25 @@ func main() {
 
 	switch *topology {
 	case "dumbbell", "parkinglot":
-		runShared(*topology, protos, *flows, pr, *warm, *duration)
+		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir)
 	case "multipath":
-		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration)
+		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir)
 	default:
 		fmt.Fprintf(os.Stderr, "tcpsim: unknown topology %q\n", *topology)
 		os.Exit(1)
 	}
 }
 
-func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration) {
+func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir string) {
 	sched := sim.NewScheduler()
 	var flowsOut []*workload.Flow
+	var bottlenecks []*netem.Link
 	starts := workload.StaggeredStarts(n, 0, 5*time.Second)
 
 	switch topology {
 	case "dumbbell":
 		d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: n})
+		bottlenecks = []*netem.Link{d.Bottleneck}
 		for i := 0; i < n; i++ {
 			f := tcp.NewFlow(d.Net, i+1, d.Src(i), d.Dst(i),
 				routing.Static{Path: d.FwdPath(i)}, routing.Static{Path: d.RevPath(i)})
@@ -73,6 +79,9 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		}
 	case "parkinglot":
 		p := topo.NewParkingLot(sched, n, 0)
+		bottlenecks = []*netem.Link{
+			p.Net.FindLink("r1", "r2"), p.Net.FindLink("r2", "r3"), p.Net.FindLink("r3", "r4"),
+		}
 		for i := 0; i < n; i++ {
 			f := tcp.NewFlow(p.Net, i+1, p.Src(i), p.Dst(i),
 				routing.Static{Path: p.MainFwd(i)}, routing.Static{Path: p.MainRev(i)})
@@ -85,10 +94,13 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		}
 	}
 
+	ob := newObserver(metricsDir, "tcpsim_"+topology, sched)
+	ob.observe(flowsOut, bottlenecks)
 	measureAndReport(sched, flowsOut, warm, dur)
+	ob.finish(topology, 0, map[string]float64{"flows": float64(n)}, warm+dur)
 }
 
-func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration) {
+func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string) {
 	// One flow at a time per protocol, matching the paper's Fig 6 setup.
 	fmt.Printf("multipath: eps=%g delay=%v (one flow per protocol, separate runs)\n\n", eps, delay)
 	for _, proto := range protos {
@@ -98,11 +110,94 @@ func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time
 		rev := routing.NewEpsilon(m.RevPaths, eps, sim.NewRand(sim.SplitSeed(seed, 2)))
 		f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst, fwd, rev)
 		wf := workload.NewFlow(f, proto, pr, 0)
+		ob := newObserver(metricsDir, "tcpsim_multipath_"+proto, sched)
+		ob.observe([]*workload.Flow{wf}, m.Net.Links())
 		wf.MarkWindow(sched, warm, warm+dur)
 		sched.RunUntil(warm + dur)
 		mbps := stats.Mbps(stats.Throughput(wf.WindowBytes(), dur))
 		fmt.Printf("%-10s %7.2f Mbps (retx %d of %d sent)\n", proto, mbps, f.DataRetx(), f.DataSent())
+		ob.finish("multipath", seed, map[string]float64{"eps": eps, "delay_ms": float64(delay.Milliseconds())}, warm+dur)
 	}
+}
+
+// observer bundles one run's observability stack: a registry, a sampler
+// on the run's scheduler, and the output directory for series + manifest.
+type observer struct {
+	dir   string
+	name  string
+	sched *sim.Scheduler
+	reg   *metrics.Registry
+	samp  *metrics.Sampler
+	start time.Time
+}
+
+// newObserver returns nil (a no-op observer) when dir is empty.
+func newObserver(dir, name string, sched *sim.Scheduler) *observer {
+	if dir == "" {
+		return nil
+	}
+	ob := &observer{
+		dir: dir, name: metrics.SanitizeName(name), sched: sched,
+		reg: metrics.New(), samp: metrics.NewSampler(sched, 0, 0), start: time.Now(),
+	}
+	ob.samp.Start(0)
+	return ob
+}
+
+func (o *observer) observe(flows []*workload.Flow, links []*netem.Link) {
+	if o == nil {
+		return
+	}
+	for _, f := range flows {
+		metrics.InstrumentFlow(o.samp, o.reg, f.Flow, metrics.FlowPrefix(f.ID, f.Protocol))
+	}
+	for _, l := range links {
+		metrics.InstrumentLink(o.samp, o.reg, l, metrics.LinkPrefix(l))
+	}
+}
+
+func (o *observer) finish(topology string, seed int64, params map[string]float64, simDur time.Duration) {
+	if o == nil {
+		return
+	}
+	o.samp.Stop()
+	if err := os.MkdirAll(o.dir, 0o755); err != nil {
+		fatalErr(err)
+	}
+	seriesFile := o.name + ".series.tsv"
+	sf, err := os.Create(filepath.Join(o.dir, seriesFile))
+	if err != nil {
+		fatalErr(err)
+	}
+	if err := o.samp.WriteTSV(sf); err != nil {
+		fatalErr(err)
+	}
+	if err := sf.Close(); err != nil {
+		fatalErr(err)
+	}
+	man := &metrics.Manifest{
+		Name:            o.name,
+		Experiment:      "tcpsim",
+		Topology:        topology,
+		Seed:            seed,
+		Params:          params,
+		SimSeconds:      simDur.Seconds(),
+		WallSeconds:     metrics.Wall(o.start),
+		EventsProcessed: o.sched.Processed(),
+	}
+	man.FillRates()
+	man.AddSnapshot(o.reg.Snapshot())
+	man.AddSampler(o.samp, seriesFile)
+	if err := man.WriteFile(filepath.Join(o.dir, o.name+".manifest.json")); err != nil {
+		fatalErr(err)
+	}
+	fmt.Printf("metrics: wrote %s and %s\n",
+		filepath.Join(o.dir, o.name+".manifest.json"), filepath.Join(o.dir, seriesFile))
+}
+
+func fatalErr(err error) {
+	fmt.Fprintln(os.Stderr, "tcpsim:", err)
+	os.Exit(1)
 }
 
 func measureAndReport(sched *sim.Scheduler, flows []*workload.Flow, warm, dur time.Duration) {

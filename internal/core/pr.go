@@ -234,6 +234,18 @@ type Sender struct {
 	BurstDrops    uint64 // drops absorbed by the memorize list
 	ExtremeEvents uint64 // §3.2 resets
 	DropsDetected uint64 // total timer-detected drops
+	// AlphaTimeouts counts drops declared by the α/β deadline itself (the
+	// mxrtt = β·ewrtt timer expired); RevealedDrops counts drops declared
+	// early by OnAck's head-of-line check when a cumulative jump exposed
+	// the hole. The two partition DropsDetected.
+	AlphaTimeouts uint64
+	RevealedDrops uint64
+	// SpuriousRetxAvoided counts holes that closed on their own after at
+	// least three duplicate ACKs: a dupack-threshold sender would have
+	// fast-retransmitted (and halved for) these reordered-not-lost
+	// packets, while TCP-PR's timers let them arrive — the paper's core
+	// claim, made observable.
+	SpuriousRetxAvoided uint64
 }
 
 // New creates a TCP-PR sender bound to a flow environment.
@@ -298,6 +310,14 @@ func (s *Sender) OnAck(ack tcp.Ack) {
 		s.headOfLineCheck()
 		s.flush()
 		return
+	}
+	// The hole closed by itself: the "missing" packet was reordered, not
+	// lost. Past the classic three-dupack threshold this is exactly the
+	// spurious fast retransmit TCP-PR's timer-only detection avoided.
+	if s.dupTicks >= 3 {
+		if f, ok := s.inflight[s.una]; ok && !f.retx {
+			s.SpuriousRetxAvoided++
+		}
 	}
 	s.una = cum
 	s.dupTicks = 0
@@ -471,6 +491,11 @@ func (s *Sender) checkDrop(seq int64) {
 // OnAck fast path rather than by a timer.
 func (s *Sender) onDrop(seq int64, f *flight, revealed bool) {
 	s.DropsDetected++
+	if revealed {
+		s.RevealedDrops++
+	} else {
+		s.AlphaTimeouts++
+	}
 	delete(s.inflight, seq)
 
 	if f.memorized {

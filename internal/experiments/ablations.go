@@ -62,7 +62,7 @@ func RunAblationBeta(cfg AblationBetaConfig) AblationBetaResult {
 	for _, beta := range cfg.Betas {
 		s := dumbbellScenario(cfg.Flows, topo.Mbps(cfg.BandwidthMbps))
 		flows := mixedRun(s, workload.TCPPR, workload.TCPSACK,
-			workload.PRParams{Beta: beta}, cfg.Durations)
+			workload.PRParams{Beta: beta}, cfg.Durations, nil)
 		bytes := make([]float64, len(flows))
 		for i, f := range flows {
 			bytes[i] = float64(f.WindowBytes())

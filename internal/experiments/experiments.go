@@ -101,8 +101,9 @@ func parkingLotScenario(n int, startCross sim.Time) scenario {
 
 // mixedRun attaches n flows alternating between two protocols (protoA on
 // even slots), runs warm+measure, and returns the per-flow measurement
-// window bytes in slot order.
-func mixedRun(s scenario, protoA, protoB string, pr workload.PRParams, d Durations) []*workload.Flow {
+// window bytes in slot order. obs (nil when metrics are off) instruments
+// the flows and the scenario's bottleneck links before the clock starts.
+func mixedRun(s scenario, protoA, protoB string, pr workload.PRParams, d Durations, obs *cellObserver) []*workload.Flow {
 	n := len(s.slots)
 	starts := workload.StaggeredStarts(n, 0, 5*time.Second)
 	flows := make([]*workload.Flow, 0, n)
@@ -114,6 +115,8 @@ func mixedRun(s scenario, protoA, protoB string, pr workload.PRParams, d Duratio
 		f := tcp.NewFlow(s.net, i+1, slot.src, slot.dst, slot.fwd, slot.rev)
 		flows = append(flows, workload.NewFlow(f, proto, pr, starts[i]))
 	}
+	obs.flows(flows...)
+	obs.links(s.bottlenecks...)
 	for _, f := range flows {
 		f.MarkWindow(s.sched, d.Warm, d.Warm+d.Measure)
 	}

@@ -20,6 +20,8 @@ type Fig2Config struct {
 	Alpha, Beta float64
 	// Durations control warm-up and measurement windows.
 	Durations Durations
+	// Metrics, when non-nil, writes per-cell time series and manifests.
+	Metrics *MetricsOptions
 }
 
 func (c *Fig2Config) fill() {
@@ -62,8 +64,12 @@ func RunFig2(cfg Fig2Config) Fig2Result {
 	res := Fig2Result{Config: cfg}
 	for _, n := range cfg.FlowCounts {
 		s := buildScenario(cfg.Topology, n)
+		obs := cfg.Metrics.observe(fmt.Sprintf("fig2_%s_n%d", cfg.Topology, n), s.sched)
 		flows := mixedRun(s, workload.TCPPR, workload.TCPSACK,
-			workload.PRParams{Alpha: cfg.Alpha, Beta: cfg.Beta}, cfg.Durations)
+			workload.PRParams{Alpha: cfg.Alpha, Beta: cfg.Beta}, cfg.Durations, obs)
+		obs.finish("fig2", cfg.Topology, "TCP-PR vs TCP-SACK", 0,
+			map[string]float64{"alpha": cfg.Alpha, "beta": cfg.Beta, "flows": float64(n)},
+			cfg.Durations.Warm+cfg.Durations.Measure)
 		bytes := make([]float64, len(flows))
 		for i, f := range flows {
 			bytes[i] = float64(f.WindowBytes())

@@ -30,6 +30,8 @@ type Fig3Config struct {
 	Seeds int
 	// Durations control warm-up and measurement windows.
 	Durations Durations
+	// Metrics, when non-nil, writes per-cell time series and manifests.
+	Metrics *MetricsOptions
 }
 
 func (c *Fig3Config) fill() {
@@ -82,8 +84,13 @@ func RunFig3(cfg Fig3Config) Fig3Result {
 	points := parallelMap(len(cells), func(i int) Fig3Point {
 		c := cells[i]
 		s := fig3Scenario(cfg.Topology, cfg.Flows, c.bw)
+		obs := cfg.Metrics.observe(
+			fmt.Sprintf("fig3_%s_bw%g_seed%d", cfg.Topology, c.bw, c.seed), s.sched)
 		flows := mixedRunSeeded(s, workload.TCPPR, workload.TCPSACK,
-			workload.PRParams{}, cfg.Durations, int64(c.seed))
+			workload.PRParams{}, cfg.Durations, int64(c.seed), obs)
+		defer obs.finish("fig3", cfg.Topology, "TCP-PR vs TCP-SACK", int64(c.seed),
+			map[string]float64{"bw_mbps": c.bw, "flows": float64(cfg.Flows)},
+			cfg.Durations.Warm+cfg.Durations.Measure)
 		bytes := make([]float64, len(flows))
 		for j, f := range flows {
 			bytes[j] = float64(f.WindowBytes())
@@ -122,7 +129,7 @@ func fig3Scenario(topology string, n int, bwMbps float64) scenario {
 // mixedRunSeeded is mixedRun with seed-dependent start-time jitter, so
 // repeated runs of the same configuration sample different phase
 // alignments (the paper repeats each Fig 3 point ten times).
-func mixedRunSeeded(s scenario, protoA, protoB string, pr workload.PRParams, d Durations, seed int64) []*workload.Flow {
+func mixedRunSeeded(s scenario, protoA, protoB string, pr workload.PRParams, d Durations, seed int64, obs *cellObserver) []*workload.Flow {
 	n := len(s.slots)
 	base := workload.StaggeredStarts(n, 0, 5*time.Second)
 	rng := sim.NewRand(sim.SplitSeed(991, seed))
@@ -136,6 +143,8 @@ func mixedRunSeeded(s scenario, protoA, protoB string, pr workload.PRParams, d D
 		f := tcp.NewFlow(s.net, i+1, slot.src, slot.dst, slot.fwd, slot.rev)
 		flows = append(flows, workload.NewFlow(f, proto, pr, start))
 	}
+	obs.flows(flows...)
+	obs.links(s.bottlenecks...)
 	for _, f := range flows {
 		f.MarkWindow(s.sched, d.Warm, d.Warm+d.Measure)
 	}

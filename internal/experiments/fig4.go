@@ -21,6 +21,8 @@ type Fig4Config struct {
 	Flows int
 	// Durations control warm-up and measurement windows.
 	Durations Durations
+	// Metrics, when non-nil, writes per-cell time series and manifests.
+	Metrics *MetricsOptions
 }
 
 func (c *Fig4Config) fill() {
@@ -69,8 +71,13 @@ func RunFig4(cfg Fig4Config) Fig4Result {
 	points := parallelMap(len(cells), func(i int) Fig4Point {
 		c := cells[i]
 		s := buildScenario(cfg.Topology, cfg.Flows)
+		obs := cfg.Metrics.observe(
+			fmt.Sprintf("fig4_%s_a%g_b%g", cfg.Topology, c.alpha, c.beta), s.sched)
 		flows := mixedRun(s, workload.TCPPR, workload.TCPSACK,
-			workload.PRParams{Alpha: c.alpha, Beta: c.beta}, cfg.Durations)
+			workload.PRParams{Alpha: c.alpha, Beta: c.beta}, cfg.Durations, obs)
+		defer obs.finish("fig4", cfg.Topology, "TCP-PR vs TCP-SACK", 0,
+			map[string]float64{"alpha": c.alpha, "beta": c.beta, "flows": float64(cfg.Flows)},
+			cfg.Durations.Warm+cfg.Durations.Measure)
 		bytes := make([]float64, len(flows))
 		for j, f := range flows {
 			bytes[j] = float64(f.WindowBytes())

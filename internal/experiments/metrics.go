@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tcppr/internal/metrics"
+	"tcppr/internal/netem"
+	"tcppr/internal/sim"
+	"tcppr/internal/workload"
+)
+
+// MetricsOptions enables the observability subsystem for an experiment
+// run. When attached to a figure config, every simulation cell gets its
+// own metrics.Registry and a virtual-clock Sampler over cwnd, queue
+// depth, RTT estimates, and goodput; at cell completion a series dump
+// (<cell>.series.tsv) and a manifest (<cell>.manifest.json) are written
+// into Dir. A run-level aggregate registry (mutex-guarded — cells
+// complete on the parallel worker pool) counts cells and total scheduler
+// events across the whole figure.
+type MetricsOptions struct {
+	// Dir receives one series TSV plus one manifest JSON per cell.
+	Dir string
+	// Interval is the sampling cadence on the virtual clock; zero selects
+	// metrics.DefaultInterval (100 ms).
+	Interval time.Duration
+	// SeriesCap bounds each ring-buffer series; zero selects
+	// metrics.DefaultSeriesCap.
+	SeriesCap int
+
+	initOnce  sync.Once
+	agg       *metrics.Registry
+	wallStart time.Time
+}
+
+func (o *MetricsOptions) init() {
+	o.initOnce.Do(func() {
+		o.agg = metrics.NewShared()
+		o.wallStart = time.Now()
+	})
+}
+
+// Aggregate returns the run-level shared registry (cells_completed,
+// events_processed, series_points counters).
+func (o *MetricsOptions) Aggregate() *metrics.Registry {
+	o.init()
+	return o.agg
+}
+
+// WriteAggregate writes the run-level manifest (<experiment>_run.json)
+// summarizing every cell completed so far under these options.
+func (o *MetricsOptions) WriteAggregate(experiment string) error {
+	o.init()
+	m := &metrics.Manifest{
+		Name:        metrics.SanitizeName(experiment) + "_run",
+		Experiment:  experiment,
+		WallSeconds: metrics.Wall(o.wallStart),
+	}
+	snap := o.agg.Snapshot()
+	m.EventsProcessed = snap.Counters["events_processed"]
+	m.FillRates()
+	m.AddSnapshot(snap)
+	return m.WriteFile(filepath.Join(o.Dir, m.Name+".json"))
+}
+
+// observe opens one cell's observation scope: a fresh (unsynchronized)
+// registry plus a sampler started at virtual time zero on the cell's own
+// scheduler. A nil receiver returns a nil observer, and every observer
+// method is a no-op on nil, so call sites need no metrics-enabled branch.
+func (o *MetricsOptions) observe(name string, sched *sim.Scheduler) *cellObserver {
+	if o == nil {
+		return nil
+	}
+	o.init()
+	ob := &cellObserver{
+		opts:  o,
+		sched: sched,
+		start: time.Now(),
+		reg:   metrics.New(),
+		samp:  metrics.NewSampler(sched, o.Interval, o.SeriesCap),
+	}
+	ob.man.Name = metrics.SanitizeName(name)
+	ob.samp.Start(0)
+	return ob
+}
+
+// cellObserver instruments one simulation cell and writes its artifacts.
+type cellObserver struct {
+	opts  *MetricsOptions
+	sched *sim.Scheduler
+	start time.Time
+	reg   *metrics.Registry
+	samp  *metrics.Sampler
+	man   metrics.Manifest
+}
+
+// links instruments network links (typically the bottlenecks).
+func (o *cellObserver) links(ls ...*netem.Link) {
+	if o == nil {
+		return
+	}
+	for _, l := range ls {
+		metrics.InstrumentLink(o.samp, o.reg, l, metrics.LinkPrefix(l))
+	}
+}
+
+// flows instruments measurement flows (sender gauges + arrival counters).
+func (o *cellObserver) flows(fs ...*workload.Flow) {
+	if o == nil {
+		return
+	}
+	for _, f := range fs {
+		metrics.InstrumentFlow(o.samp, o.reg, f.Flow, metrics.FlowPrefix(f.ID, f.Protocol))
+	}
+}
+
+// finish stops sampling, fills the manifest, writes the cell's series
+// dump and manifest into Dir, and folds the cell into the run aggregate.
+// Export failures are reported on stderr rather than aborting a
+// simulation that already ran to completion.
+func (o *cellObserver) finish(experiment, topology, variant string, seed int64, params map[string]float64, simDur time.Duration) {
+	if o == nil {
+		return
+	}
+	o.samp.Stop()
+	m := &o.man
+	m.Experiment = experiment
+	m.Topology = topology
+	m.Variant = variant
+	m.Seed = seed
+	m.Params = params
+	m.SimSeconds = simDur.Seconds()
+	m.WallSeconds = metrics.Wall(o.start)
+	m.EventsProcessed = o.sched.Processed()
+	m.FillRates()
+	m.AddSnapshot(o.reg.Snapshot())
+
+	seriesFile := m.Name + ".series.tsv"
+	m.AddSampler(o.samp, seriesFile)
+
+	if err := o.writeSeries(filepath.Join(o.opts.Dir, seriesFile)); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: cell %s: %v\n", m.Name, err)
+	}
+	if err := m.WriteFile(filepath.Join(o.opts.Dir, m.Name+".manifest.json")); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: cell %s: %v\n", m.Name, err)
+	}
+
+	agg := o.opts.Aggregate()
+	agg.Counter("cells_completed").Inc()
+	agg.Counter("events_processed").Add(o.sched.Processed())
+	var pts uint64
+	for _, s := range o.samp.Series() {
+		pts += uint64(s.Len())
+	}
+	agg.Counter("series_points").Add(pts)
+}
+
+func (o *cellObserver) writeSeries(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.samp.WriteTSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"tcppr/internal/core"
+	"tcppr/internal/netem"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+)
+
+// The sender-introspection interfaces below are satisfied piecemeal by
+// the repository's TCP variants: core.Sender exposes Ssthr/Ewrtt/Mxrtt,
+// the dupack family exposes Ssthresh/SRTT. Instrumentation type-asserts
+// each one and registers only the gauges a sender actually supports.
+type (
+	cwndSender     interface{ Cwnd() float64 }
+	ssthrSender    interface{ Ssthr() float64 }
+	ssthreshSender interface{ Ssthresh() float64 }
+	srttSender     interface{ SRTT() time.Duration }
+	inflightSender interface{ InFlight() int }
+	unaSender      interface{ Una() int64 }
+)
+
+// InstrumentFlow wires one flow into the observability stack:
+//
+//   - time series (via sp, when non-nil): cwnd, ssthresh, SRTT or
+//     ewrtt/mxrtt (ms), goodput bytes, in-flight count — everything the
+//     paper's cwnd/RTT trajectory figures need;
+//   - registry counters (via reg, when non-nil): data/ACK arrivals
+//     counted through flow hooks, chained with FlowHooks.Chain so trace
+//     recorders stack on the same flow;
+//   - registry gauges: final send/retx/ack totals for the run manifest.
+//
+// All series and instrument names are prefixed "<prefix>.". Attach before
+// the simulation starts.
+func InstrumentFlow(sp *Sampler, reg *Registry, f *tcp.Flow, prefix string) {
+	snd := f.Sender()
+	if sp != nil {
+		if s, ok := snd.(cwndSender); ok {
+			sp.Watch(prefix+".cwnd", s.Cwnd)
+		}
+		switch s := snd.(type) {
+		case ssthrSender:
+			sp.Watch(prefix+".ssthresh", s.Ssthr)
+		case ssthreshSender:
+			sp.Watch(prefix+".ssthresh", s.Ssthresh)
+		}
+		if s, ok := snd.(srttSender); ok {
+			sp.Watch(prefix+".srtt_ms", func() float64 { return durMillis(s.SRTT()) })
+		}
+		if s, ok := snd.(inflightSender); ok {
+			sp.Watch(prefix+".inflight", func() float64 { return float64(s.InFlight()) })
+		}
+		sp.Watch(prefix+".goodput_bytes", func() float64 { return float64(f.UniqueBytes()) })
+	}
+	if reg != nil {
+		reg.GaugeFunc(prefix+".data_sent", func() float64 { return float64(f.DataSent()) })
+		reg.GaugeFunc(prefix+".data_retx", func() float64 { return float64(f.DataRetx()) })
+		reg.GaugeFunc(prefix+".acks_sent", func() float64 { return float64(f.AcksSent()) })
+		reg.GaugeFunc(prefix+".goodput_bytes", func() float64 { return float64(f.UniqueBytes()) })
+		if s, ok := snd.(unaSender); ok {
+			reg.GaugeFunc(prefix+".una", func() float64 { return float64(s.Una()) })
+		}
+
+		dataRecv := reg.Counter(prefix + ".data_recv")
+		retxRecv := reg.Counter(prefix + ".retx_recv")
+		ackRecv := reg.Counter(prefix + ".acks_recv")
+		f.Hooks = tcp.FlowHooks{
+			OnDataRecv: func(seg tcp.Seg, _ sim.Time) {
+				dataRecv.Inc()
+				if seg.Retx {
+					retxRecv.Inc()
+				}
+			},
+			OnAckRecv: func(tcp.Ack, sim.Time) { ackRecv.Inc() },
+		}.Chain(f.Hooks)
+	}
+
+	if pr, ok := snd.(*core.Sender); ok {
+		InstrumentPR(sp, reg, pr, prefix)
+	}
+}
+
+// InstrumentPR registers TCP-PR-specific observability: ewrtt/mxrtt
+// trajectories (the α/β estimator the paper plots) and the
+// drop-classification counters (α-timeouts vs ACK-revealed drops,
+// spurious retransmissions avoided, §3.2 extreme events).
+func InstrumentPR(sp *Sampler, reg *Registry, s *core.Sender, prefix string) {
+	if sp != nil {
+		sp.Watch(prefix+".ewrtt_ms", func() float64 { return durMillis(s.Ewrtt()) })
+		sp.Watch(prefix+".mxrtt_ms", func() float64 { return durMillis(s.Mxrtt()) })
+	}
+	if reg != nil {
+		reg.GaugeFunc(prefix+".drops_detected", func() float64 { return float64(s.DropsDetected) })
+		reg.GaugeFunc(prefix+".alpha_timeouts", func() float64 { return float64(s.AlphaTimeouts) })
+		reg.GaugeFunc(prefix+".revealed_drops", func() float64 { return float64(s.RevealedDrops) })
+		reg.GaugeFunc(prefix+".spurious_retx_avoided", func() float64 { return float64(s.SpuriousRetxAvoided) })
+		reg.GaugeFunc(prefix+".halvings", func() float64 { return float64(s.Halvings) })
+		reg.GaugeFunc(prefix+".burst_drops", func() float64 { return float64(s.BurstDrops) })
+		reg.GaugeFunc(prefix+".extreme_events", func() float64 { return float64(s.ExtremeEvents) })
+	}
+}
+
+// InstrumentLink wires one link into the observability stack: a sampled
+// queue-depth series (plus RED average queue when RED is attached) and
+// enqueue/dequeue/drop/delivery gauges for the run manifest.
+func InstrumentLink(sp *Sampler, reg *Registry, l *netem.Link, prefix string) {
+	if sp != nil {
+		sp.Watch(prefix+".queue_len", func() float64 { return float64(l.QueueLen()) })
+		sp.Watch(prefix+".drops", func() float64 {
+			st := l.Stats()
+			return float64(st.Dropped + st.RandomDropped)
+		})
+		if r := l.RED(); r != nil {
+			sp.Watch(prefix+".red_avg_queue", r.AvgQueue)
+		}
+	}
+	if reg != nil {
+		reg.GaugeFunc(prefix+".enqueued", func() float64 { return float64(l.Stats().Enqueued) })
+		reg.GaugeFunc(prefix+".dequeued", func() float64 { return float64(l.Stats().Dequeued) })
+		reg.GaugeFunc(prefix+".dropped", func() float64 { return float64(l.Stats().Dropped) })
+		reg.GaugeFunc(prefix+".random_dropped", func() float64 { return float64(l.Stats().RandomDropped) })
+		reg.GaugeFunc(prefix+".delivered", func() float64 { return float64(l.Stats().Delivered) })
+		reg.GaugeFunc(prefix+".bytes", func() float64 { return float64(l.Stats().Bytes) })
+		reg.GaugeFunc(prefix+".max_queue", func() float64 { return float64(l.Stats().MaxQueue) })
+		if r := l.RED(); r != nil {
+			reg.GaugeFunc(prefix+".red_early_drops", func() float64 { return float64(r.EarlyDrops) })
+		}
+	}
+}
+
+// LinkPrefix returns the canonical instrument prefix for a link,
+// e.g. "link.r0-r1".
+func LinkPrefix(l *netem.Link) string {
+	return "link." + SanitizeName(l.String())
+}
+
+// FlowPrefix returns the canonical instrument prefix for a flow,
+// e.g. "flow1.TCP-PR".
+func FlowPrefix(id int, protocol string) string {
+	if protocol == "" {
+		return fmt.Sprintf("flow%d", id)
+	}
+	return fmt.Sprintf("flow%d.%s", id, SanitizeName(protocol))
+}
+
+func durMillis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -17,6 +17,9 @@ type LinkStats struct {
 	// RandomDropped is the number of packets lost to the configured
 	// random-loss process (SetLoss) rather than queue overflow.
 	RandomDropped uint64
+	// Dequeued is the number of packets whose serialization completed,
+	// freeing their queue slot.
+	Dequeued uint64
 	// Delivered is the number of packets handed to the downstream node.
 	Delivered uint64
 	// Bytes is the total payload delivered, in bytes.
@@ -157,6 +160,7 @@ func (l *Link) Enqueue(p *Packet) bool {
 	// arrives one propagation delay (plus any jitter draw) later.
 	l.sched.At(finish, func() {
 		l.queueLen--
+		l.stats.Dequeued++
 	})
 	delay := l.Delay
 	if l.jitter > 0 {

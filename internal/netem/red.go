@@ -90,6 +90,10 @@ func (r *RED) Admit(qlen int) bool {
 // AvgQueue exposes the averaged queue length (tests, traces).
 func (r *RED) AvgQueue() float64 { return r.avg }
 
+// RED returns the link's RED controller, or nil when the queue is plain
+// drop-tail (observability hooks sample AvgQueue through this).
+func (l *Link) RED() *RED { return l.red }
+
 // AttachRED installs a RED controller on the link. Arriving packets
 // consult RED before the drop-tail capacity check.
 func (l *Link) AttachRED(r *RED) {

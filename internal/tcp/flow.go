@@ -30,6 +30,34 @@ type FlowHooks struct {
 	OnAckRecv func(ack Ack, now sim.Time)
 }
 
+// Chain composes two hook sets: each returned callback invokes h's hook
+// first and next's second (either may be nil). Observers stack on a flow
+// with f.Hooks = mine.Chain(f.Hooks) instead of hand-rolling the
+// four-field chaining in every package.
+func (h FlowHooks) Chain(next FlowHooks) FlowHooks {
+	return FlowHooks{
+		OnDataSent: chainHook(h.OnDataSent, next.OnDataSent),
+		OnDataRecv: chainHook(h.OnDataRecv, next.OnDataRecv),
+		OnAckSent:  chainHook(h.OnAckSent, next.OnAckSent),
+		OnAckRecv:  chainHook(h.OnAckRecv, next.OnAckRecv),
+	}
+}
+
+// chainHook composes two callbacks of the same signature, eliding nils so
+// chains of observers don't accumulate no-op wrappers.
+func chainHook[T any](first, second func(T, sim.Time)) func(T, sim.Time) {
+	if first == nil {
+		return second
+	}
+	if second == nil {
+		return first
+	}
+	return func(v T, now sim.Time) {
+		first(v, now)
+		second(v, now)
+	}
+}
+
 // Flow is one end-to-end TCP connection: a sender at Src, a Receiver at
 // Dst, and a router for each direction. Data and ACK packets both traverse
 // the routed topology, so both can be reordered or dropped — the paper

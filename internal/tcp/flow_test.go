@@ -171,3 +171,33 @@ func TestTwoFlowsShareNodesIndependently(t *testing.T) {
 		t.Fatal("both receivers must see data")
 	}
 }
+
+func TestFlowHooksChain(t *testing.T) {
+	var order []string
+	mark := func(name string) FlowHooks {
+		return FlowHooks{
+			OnDataSent: func(Seg, sim.Time) { order = append(order, name+".sent") },
+			OnAckRecv:  func(Ack, sim.Time) { order = append(order, name+".ack") },
+		}
+	}
+	h := mark("a").Chain(mark("b")).Chain(mark("c"))
+	h.OnDataSent(Seg{}, 0)
+	h.OnAckRecv(Ack{}, 0)
+	want := []string{"a.sent", "b.sent", "c.sent", "a.ack", "b.ack", "c.ack"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// Nil callbacks on either side are elided, not wrapped.
+	only := FlowHooks{}.Chain(mark("x"))
+	if only.OnDataRecv != nil || only.OnAckSent != nil {
+		t.Error("chaining two nil hooks must stay nil")
+	}
+	if only.OnDataSent == nil {
+		t.Error("non-nil side must survive chaining with nil")
+	}
+}

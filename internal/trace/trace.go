@@ -43,6 +43,11 @@ type Event struct {
 type Recorder struct {
 	Events []Event
 
+	// kindCounts and arrivals are maintained at append time so CountKind
+	// and ReorderRate stay O(1) however long the event log grows.
+	kindCounts [256]int
+	arrivals   int // original (non-retx) data arrivals
+
 	// maxRecvSeq tracks the highest data sequence seen at the receiver,
 	// for online reorder accounting.
 	maxRecvSeq   int64
@@ -54,37 +59,39 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Attach wires the recorder into a flow's hooks. Any previously installed
-// hooks are chained.
-func (r *Recorder) Attach(f *tcp.Flow) {
-	prev := f.Hooks
-	f.Hooks = tcp.FlowHooks{
+// record appends one event and updates the running counts.
+func (r *Recorder) record(e Event) {
+	r.Events = append(r.Events, e)
+	r.kindCounts[e.Kind]++
+	if e.Kind == DataRecv && !e.Retx {
+		r.arrivals++
+	}
+}
+
+// Hooks returns the recorder's observation callbacks, for composing with
+// other observers via tcp.FlowHooks.Chain.
+func (r *Recorder) Hooks() tcp.FlowHooks {
+	return tcp.FlowHooks{
 		OnDataSent: func(seg tcp.Seg, now sim.Time) {
-			r.Events = append(r.Events, Event{At: now, Kind: DataSent, Seq: seg.Seq, Retx: seg.Retx})
-			if prev.OnDataSent != nil {
-				prev.OnDataSent(seg, now)
-			}
+			r.record(Event{At: now, Kind: DataSent, Seq: seg.Seq, Retx: seg.Retx})
 		},
 		OnDataRecv: func(seg tcp.Seg, now sim.Time) {
-			r.Events = append(r.Events, Event{At: now, Kind: DataRecv, Seq: seg.Seq, Retx: seg.Retx})
+			r.record(Event{At: now, Kind: DataRecv, Seq: seg.Seq, Retx: seg.Retx})
 			r.noteArrival(seg)
-			if prev.OnDataRecv != nil {
-				prev.OnDataRecv(seg, now)
-			}
 		},
 		OnAckSent: func(ack tcp.Ack, now sim.Time) {
-			r.Events = append(r.Events, Event{At: now, Kind: AckSent, Seq: ack.EchoSeq, Cum: ack.CumAck})
-			if prev.OnAckSent != nil {
-				prev.OnAckSent(ack, now)
-			}
+			r.record(Event{At: now, Kind: AckSent, Seq: ack.EchoSeq, Cum: ack.CumAck})
 		},
 		OnAckRecv: func(ack tcp.Ack, now sim.Time) {
-			r.Events = append(r.Events, Event{At: now, Kind: AckRecv, Seq: ack.EchoSeq, Cum: ack.CumAck})
-			if prev.OnAckRecv != nil {
-				prev.OnAckRecv(ack, now)
-			}
+			r.record(Event{At: now, Kind: AckRecv, Seq: ack.EchoSeq, Cum: ack.CumAck})
 		},
 	}
+}
+
+// Attach wires the recorder into a flow's hooks. Any previously installed
+// hooks are chained after the recorder's.
+func (r *Recorder) Attach(f *tcp.Flow) {
+	f.Hooks = r.Hooks().Chain(f.Hooks)
 }
 
 // noteArrival updates the online reorder metrics: an arrival below the
@@ -106,16 +113,10 @@ func (r *Recorder) noteArrival(seg tcp.Seg) {
 // ReorderRate returns the fraction of original (non-retransmitted) data
 // arrivals that were out of order.
 func (r *Recorder) ReorderRate() float64 {
-	var arrivals int
-	for _, e := range r.Events {
-		if e.Kind == DataRecv && !e.Retx {
-			arrivals++
-		}
-	}
-	if arrivals == 0 {
+	if r.arrivals == 0 {
 		return 0
 	}
-	return float64(r.reorderCount) / float64(arrivals)
+	return float64(r.reorderCount) / float64(r.arrivals)
 }
 
 // ReorderExtents returns the distribution of reorder extents (in packets):
@@ -146,12 +147,4 @@ func (r *Recorder) WriteTSV(w io.Writer) error {
 }
 
 // CountKind returns the number of recorded events of one kind.
-func (r *Recorder) CountKind(k Kind) int {
-	n := 0
-	for _, e := range r.Events {
-		if e.Kind == k {
-			n++
-		}
-	}
-	return n
-}
+func (r *Recorder) CountKind(k Kind) int { return r.kindCounts[k] }
