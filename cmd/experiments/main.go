@@ -7,7 +7,8 @@
 // Names: fig2, fig3, fig4, fig6 (the paper's figures), ablation-beta,
 // ablation-memorize, ablation-sendcwnd, ablation-holemode (design-choice
 // ablations), ext-threshold, ext-reorder, ext-robustness, ext-door
-// (extensions), or all (default). -fig N is shorthand for -run figN.
+// (extensions), faultmatrix (TCP-PR vs baselines under scripted faults),
+// or all (default). -fig N is shorthand for -run figN.
 // -quick substitutes shortened simulation windows (useful for smoke
 // runs); the default reproduces the paper's 60-second steady-state
 // measurement protocol. With -csv the raw per-point data are also written
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	runName := flag.String("run", "all", "experiment to run: fig2|fig3|fig4|fig6|ablation-beta|ablation-memorize|ablation-sendcwnd|ablation-holemode|ext-door|ext-reorder|ext-robustness|ext-threshold|all")
+	runName := flag.String("run", "all", "experiment to run: fig2|fig3|fig4|fig6|ablation-beta|ablation-memorize|ablation-sendcwnd|ablation-holemode|ext-door|ext-reorder|ext-robustness|ext-threshold|faultmatrix|all")
 	fig := flag.Int("fig", 0, "shorthand: -fig 2 is -run fig2")
 	quick := flag.Bool("quick", false, "use shortened simulation windows")
 	csvDir := flag.String("csv", "", "directory to write per-point CSV files into")
@@ -151,6 +152,22 @@ func main() {
 		res := experiments.RunRobustness(d)
 		printTable(res.Table(), start)
 		writeCSV(*csvDir, "ext_robustness.csv", res.Table())
+	}
+	if selected("faultmatrix") {
+		ran = true
+		start := time.Now()
+		cfg := experiments.FaultMatrixConfig{Metrics: mopts}
+		if *quick {
+			cfg.Total = 20 * time.Second
+			cfg.FaultAt = 3 * time.Second
+		}
+		res, err := experiments.RunFaultMatrix(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printTable(res.Table(), start)
+		writeCSV(*csvDir, "faultmatrix.csv", res.Table())
+		writeAggregate(mopts, "faultmatrix")
 	}
 	if selected("ext-door") {
 		ran = true

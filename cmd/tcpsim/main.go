@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"tcppr/internal/faults"
 	"tcppr/internal/metrics"
 	"tcppr/internal/netem"
 	"tcppr/internal/routing"
@@ -38,7 +39,16 @@ func main() {
 	beta := flag.Float64("beta", 3.0, "TCP-PR beta")
 	seed := flag.Int64("seed", 42, "random seed")
 	metricsDir := flag.String("metrics", "", "directory to write time series + a run manifest into")
+	faultName := flag.String("faults", "", "canned fault scenario to inject at the bottleneck ('list' to enumerate)")
+	faultAt := flag.Duration("fault-at", 5*time.Second, "when the fault scenario's disruption begins")
 	flag.Parse()
+
+	if *faultName == "list" {
+		for _, sc := range faults.Scenarios() {
+			fmt.Printf("%-12s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
 
 	protos := strings.Split(*protocols, ",")
 	for i := range protos {
@@ -53,8 +63,12 @@ func main() {
 
 	switch *topology {
 	case "dumbbell", "parkinglot":
-		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir)
+		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, *faultName, *faultAt, *seed)
 	case "multipath":
+		if *faultName != "" {
+			fmt.Fprintln(os.Stderr, "tcpsim: -faults targets a bottleneck and supports dumbbell|parkinglot only")
+			os.Exit(1)
+		}
 		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir)
 	default:
 		fmt.Fprintf(os.Stderr, "tcpsim: unknown topology %q\n", *topology)
@@ -62,15 +76,17 @@ func main() {
 	}
 }
 
-func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir string) {
+func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir, faultName string, faultAt time.Duration, seed int64) {
 	sched := sim.NewScheduler()
 	var flowsOut []*workload.Flow
 	var bottlenecks []*netem.Link
+	var network *netem.Network
 	starts := workload.StaggeredStarts(n, 0, 5*time.Second)
 
 	switch topology {
 	case "dumbbell":
 		d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: n})
+		network = d.Net
 		bottlenecks = []*netem.Link{d.Bottleneck}
 		for i := 0; i < n; i++ {
 			f := tcp.NewFlow(d.Net, i+1, d.Src(i), d.Dst(i),
@@ -79,6 +95,7 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		}
 	case "parkinglot":
 		p := topo.NewParkingLot(sched, n, 0)
+		network = p.Net
 		bottlenecks = []*netem.Link{
 			p.Net.FindLink("r1", "r2"), p.Net.FindLink("r2", "r3"), p.Net.FindLink("r3", "r4"),
 		}
@@ -94,10 +111,41 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		}
 	}
 
-	ob := newObserver(metricsDir, "tcpsim_"+topology, sched)
+	name := "tcpsim_" + topology
+	if faultName != "" {
+		name += "_" + faultName
+	}
+	ob := newObserver(metricsDir, name, sched)
 	ob.observe(flowsOut, bottlenecks)
+
+	// Scripted faults hit the first bottleneck hop (both directions).
+	var tl *faults.Timeline
+	if faultName != "" {
+		sc, err := faults.ScenarioByName(faultName)
+		if err != nil {
+			fatalErr(err)
+		}
+		fwd := bottlenecks[0]
+		rev := network.FindLink(fwd.To.Name, fwd.From.Name)
+		tl = faults.NewTimeline()
+		if ob != nil {
+			tl.Instrument(ob.reg)
+		}
+		sc.Build(tl, fwd, rev, faultAt, seed)
+		tl.Install(sched)
+		fmt.Printf("faults: scenario %q on %s starting at %v (%s)\n\n", sc.Name, fwd, faultAt, sc.Description)
+	}
+
 	measureAndReport(sched, flowsOut, warm, dur)
-	ob.finish(topology, 0, map[string]float64{"flows": float64(n)}, warm+dur)
+	if tl != nil {
+		fmt.Printf("\nfault events applied:\n%s", tl.EventsTSV())
+		if ob != nil {
+			for _, ev := range tl.Applied() {
+				ob.faults = append(ob.faults, ev.String())
+			}
+		}
+	}
+	ob.finish(topology, seed, map[string]float64{"flows": float64(n)}, warm+dur)
 }
 
 func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string) {
@@ -123,12 +171,13 @@ func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time
 // observer bundles one run's observability stack: a registry, a sampler
 // on the run's scheduler, and the output directory for series + manifest.
 type observer struct {
-	dir   string
-	name  string
-	sched *sim.Scheduler
-	reg   *metrics.Registry
-	samp  *metrics.Sampler
-	start time.Time
+	dir    string
+	name   string
+	sched  *sim.Scheduler
+	reg    *metrics.Registry
+	samp   *metrics.Sampler
+	start  time.Time
+	faults []string
 }
 
 // newObserver returns nil (a no-op observer) when dir is empty.
@@ -181,6 +230,7 @@ func (o *observer) finish(topology string, seed int64, params map[string]float64
 		Topology:        topology,
 		Seed:            seed,
 		Params:          params,
+		Faults:          o.faults,
 		SimSeconds:      simDur.Seconds(),
 		WallSeconds:     metrics.Wall(o.start),
 		EventsProcessed: o.sched.Processed(),

@@ -1,0 +1,279 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"tcppr/internal/metrics"
+	"tcppr/internal/netem"
+	"tcppr/internal/sim"
+)
+
+func mbps(m float64) int64 { return int64(m * 1e6) }
+
+// TestTimelineAppliesInOrder scripts one fault of each kind and checks the
+// link state flips at the exact scheduled times and the applied-event log
+// comes out in time order with the metrics counters to match.
+func TestTimelineAppliesInOrder(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	l := net.AddLink("a", "b", mbps(10), 5*time.Millisecond, 100)
+
+	tl := NewTimeline()
+	reg := metrics.New()
+	tl.Instrument(reg)
+	// Deliberately appended out of time order: Install must sort.
+	tl.QueueCapStep(l, 4*time.Second, 10)
+	tl.Blackout(l, 1*time.Second, 2*time.Second)
+	tl.BandwidthStep(l, 3*time.Second, mbps(5))
+	tl.DelayStep(l, 5*time.Second, time.Millisecond)
+	tl.Install(sched)
+
+	type check struct {
+		at sim.Time
+		ok func() bool
+	}
+	for _, c := range []check{
+		{500 * time.Millisecond, func() bool { return !l.IsDown() }},
+		{1500 * time.Millisecond, func() bool { return l.IsDown() }},
+		{2500 * time.Millisecond, func() bool { return !l.IsDown() }},
+		{3500 * time.Millisecond, func() bool { return l.Bandwidth == mbps(5) }},
+		{4500 * time.Millisecond, func() bool { return l.QueueCap == 10 }},
+		{5500 * time.Millisecond, func() bool { return l.Delay == time.Millisecond }},
+	} {
+		c := c
+		sched.At(c.at, func() {
+			if !c.ok() {
+				t.Errorf("state check at %v failed", c.at)
+			}
+		})
+	}
+	sched.Run()
+
+	applied := tl.Applied()
+	if len(applied) != 5 {
+		t.Fatalf("applied %d events, want 5", len(applied))
+	}
+	wantKinds := []Kind{LinkDown, LinkUp, Bandwidth, QueueCap, Delay}
+	for i, ev := range applied {
+		if ev.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %s, want %s", i, ev.Kind, wantKinds[i])
+		}
+		if i > 0 && ev.At < applied[i-1].At {
+			t.Errorf("event %d applied out of order (%v after %v)", i, ev.At, applied[i-1].At)
+		}
+		if ev.Link != "a->b" {
+			t.Errorf("event %d link = %q, want a->b", i, ev.Link)
+		}
+	}
+	if got := reg.Counter("faults.applied").Value(); got != 5 {
+		t.Errorf("faults.applied = %d, want 5", got)
+	}
+	for kind, want := range map[Kind]uint64{LinkDown: 1, LinkUp: 1, Bandwidth: 1, QueueCap: 1, Delay: 1} {
+		if got := reg.Counter("faults." + string(kind)).Value(); got != want {
+			t.Errorf("faults.%s = %d, want %d", kind, got, want)
+		}
+	}
+	if lines := strings.Count(tl.EventsTSV(), "\n"); lines != 5 {
+		t.Errorf("EventsTSV has %d lines, want 5", lines)
+	}
+}
+
+// TestTimelineValidation pins the misuse panics: scripting after install,
+// installing twice, inverted blackout intervals, negative times.
+func TestTimelineValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	l := net.AddLink("a", "b", mbps(10), 0, 10)
+
+	for name, fn := range map[string]func(){
+		"negative time": func() {
+			NewTimeline().Add(Fault{At: -time.Second, Kind: Custom, Apply: func() {}})
+		},
+		"nil apply": func() {
+			NewTimeline().Add(Fault{At: time.Second, Kind: Custom})
+		},
+		"inverted blackout": func() {
+			NewTimeline().Blackout(l, 2*time.Second, time.Second)
+		},
+		"zero-step ramp": func() {
+			NewTimeline().LossRamp(l, 0, time.Second, 0, 0.5, 0, sim.NewRand(1))
+		},
+		"add after install": func() {
+			tl := NewTimeline()
+			tl.Install(sched)
+			tl.DelayStep(l, time.Second, time.Millisecond)
+		},
+		"double install": func() {
+			tl := NewTimeline()
+			tl.Install(sched)
+			tl.Install(sched)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestGilbertElliottBurstiness checks the model against i.i.d. loss on two
+// axes: the long-run loss fraction matches the stationary value, and drops
+// cluster — the probability of losing the packet right after a lost one is
+// far above the marginal loss rate.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	ge := DefaultGE(sim.NewRand(42))
+	const n = 400000
+	losses := 0
+	pairLoss := 0 // drops immediately following a drop
+	prev := false
+	for i := 0; i < n; i++ {
+		d := ge.Drop(1000)
+		if d {
+			losses++
+			if prev {
+				pairLoss++
+			}
+		}
+		prev = d
+	}
+	frac := float64(losses) / n
+	// Stationary loss: PBad/(PBad+PGood) * LossBad = 0.002/0.052*0.9 ≈ 0.0346.
+	want := 0.002 / 0.052 * 0.9
+	if math.Abs(frac-want) > 0.01 {
+		t.Errorf("marginal loss fraction = %.4f, want ~%.4f", frac, want)
+	}
+	condLoss := float64(pairLoss) / float64(losses)
+	// Conditional loss after a loss ≈ (1-PGood)*LossBad ≈ 0.855 — an i.i.d.
+	// process at the same marginal rate would give ~0.035.
+	if condLoss < 0.5 {
+		t.Errorf("P(drop|prev drop) = %.3f, want >0.5: losses are not bursty", condLoss)
+	}
+	if condLoss < 5*frac {
+		t.Errorf("conditional loss %.3f not clearly above marginal %.3f", condLoss, frac)
+	}
+}
+
+// TestGilbertElliottValidation pins the constructor panics.
+func TestGilbertElliottValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil rng":           func() { NewGilbertElliott(0.1, 0.1, 0, 0.9, nil) },
+		"p out of range":    func() { NewGilbertElliott(1.5, 0.1, 0, 0.9, sim.NewRand(1)) },
+		"loss out of range": func() { NewGilbertElliott(0.1, 0.1, 0, -0.2, sim.NewRand(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestScenariosCatalog sanity-checks the canned set: the required fault
+// shapes exist, names are unique, every scenario installs cleanly, and
+// lookups work.
+func TestScenariosCatalog(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 5 { // "none" + at least the 4 the matrix requires
+		t.Fatalf("only %d canned scenarios", len(scs))
+	}
+	seen := map[string]bool{}
+	for _, want := range []string{"none", "burst-loss", "blackout-2s", "bw-half", "delay-step"} {
+		if _, err := ScenarioByName(want); err != nil {
+			t.Errorf("required scenario missing: %v", err)
+		}
+	}
+	if _, err := ScenarioByName("no-such"); err == nil {
+		t.Error("ScenarioByName accepted an unknown name")
+	}
+	for _, sc := range scs {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Name != "none" && sc.Disrupt <= 0 {
+			t.Errorf("scenario %q has no disruption window", sc.Name)
+		}
+
+		sched := sim.NewScheduler()
+		net := netem.NewNetwork(sched)
+		fwd, rev := net.AddDuplex("L", "R", mbps(15), 20*time.Millisecond, 100)
+		tl := NewTimeline()
+		sc.Build(tl, fwd, rev, 5*time.Second, 1)
+		tl.Install(sched)
+		sched.Run()
+		if sc.Name == "none" {
+			if len(tl.Applied()) != 0 {
+				t.Errorf("baseline scenario applied %d faults", len(tl.Applied()))
+			}
+			continue
+		}
+		if len(tl.Applied()) == 0 {
+			t.Errorf("scenario %q applied no faults", sc.Name)
+		}
+		// Every scenario must leave the network healthy again: links up,
+		// original loss process, bandwidth/delay/queue restored.
+		for _, l := range []*netem.Link{fwd, rev} {
+			if l.IsDown() {
+				t.Errorf("scenario %q leaves %s down", sc.Name, l)
+			}
+			if l.LossModel() != nil {
+				t.Errorf("scenario %q leaves a loss process on %s", sc.Name, l)
+			}
+			if l.Bandwidth != mbps(15) || l.Delay != 20*time.Millisecond || l.QueueCap != 100 {
+				t.Errorf("scenario %q leaves %s unrestored (bw=%d delay=%v cap=%d)",
+					sc.Name, l, l.Bandwidth, l.Delay, l.QueueCap)
+			}
+		}
+	}
+}
+
+// TestScenarioDeterminism replays every scenario twice with the same seed
+// under identical cross-traffic and checks the applied-event log and every
+// link counter are byte-identical — scripted faults must not cost the
+// simulator its reproducibility.
+func TestScenarioDeterminism(t *testing.T) {
+	run := func(sc Scenario, seed int64) (string, netem.LinkStats) {
+		sched := sim.NewScheduler()
+		net := netem.NewNetwork(sched)
+		fwd, rev := net.AddDuplex("L", "R", mbps(10), 10*time.Millisecond, 50)
+		delivered := 0
+		net.Node("R").Handle(1, func(*netem.Packet) { delivered++ })
+
+		tl := NewTimeline()
+		sc.Build(tl, fwd, rev, 2*time.Second, seed)
+		tl.Install(sched)
+
+		// Constant-rate probe traffic across the whole run.
+		var tick func()
+		tick = func() {
+			net.Send(&netem.Packet{Flow: 1, Size: 1000, Path: []*netem.Link{fwd}})
+			if sched.Now() < 20*time.Second {
+				sched.After(3*time.Millisecond, tick)
+			}
+		}
+		sched.After(0, tick)
+		sched.Run()
+		return tl.EventsTSV(), fwd.Stats()
+	}
+
+	for _, sc := range Scenarios() {
+		log1, st1 := run(sc, 7)
+		log2, st2 := run(sc, 7)
+		if log1 != log2 {
+			t.Errorf("scenario %q: event logs differ across same-seed runs:\n%s\nvs\n%s", sc.Name, log1, log2)
+		}
+		if st1 != st2 {
+			t.Errorf("scenario %q: link stats differ across same-seed runs:\n%+v\nvs\n%+v", sc.Name, st1, st2)
+		}
+	}
+}

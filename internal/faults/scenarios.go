@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tcppr/internal/netem"
+	"tcppr/internal/sim"
+)
+
+// Scenario is a canned fault timeline for a single bottleneck: the Build
+// hook scripts faults on the forward and reverse directions of the link,
+// starting at the given virtual time. Scenarios are what the fault matrix
+// (experiments.FaultMatrix) and the tcpsim -faults flag iterate over.
+type Scenario struct {
+	// Name is the stable identifier ("blackout-2s", ...).
+	Name string
+	// Description is one line for tables and docs.
+	Description string
+	// Disrupt is how long after Build's start time the network stays
+	// degraded; start+Disrupt is when recovery clocks begin. Zero means
+	// the scenario injects nothing (the healthy baseline).
+	Disrupt time.Duration
+	// Build appends the scenario's faults to tl. fwd and rev are the two
+	// directions of the bottleneck; seed derives any RNG streams the
+	// scenario needs (via sim.SplitSeed, so scenarios do not perturb each
+	// other's draws).
+	Build func(tl *Timeline, fwd, rev *netem.Link, start sim.Time, seed int64)
+}
+
+// Scenarios returns the canned fault timelines, sorted by name. Each
+// exercises a distinct recovery path in the senders: clustered loss,
+// total connectivity loss, capacity loss, and in-flight reordering.
+func Scenarios() []Scenario {
+	s := []Scenario{
+		{
+			Name:        "none",
+			Description: "healthy network, no faults (baseline row)",
+			Disrupt:     0,
+			Build:       func(*Timeline, *netem.Link, *netem.Link, sim.Time, int64) {},
+		},
+		{
+			Name:        "burst-loss",
+			Description: "Gilbert-Elliott burst loss on the forward path for 10s (~3.5% loss in dense bursts)",
+			Disrupt:     10 * time.Second,
+			Build: func(tl *Timeline, fwd, _ *netem.Link, start sim.Time, seed int64) {
+				ge := DefaultGE(sim.NewRand(sim.SplitSeed(seed, 101)))
+				tl.LossModelStep(fwd, start, ge, "gilbert-elliott burst loss on")
+				tl.LossModelStep(fwd, start+10*time.Second, nil, "gilbert-elliott burst loss off")
+			},
+		},
+		{
+			Name:        "blackout-2s",
+			Description: "both directions of the bottleneck down for 2s (route outage)",
+			Disrupt:     2 * time.Second,
+			Build: func(tl *Timeline, fwd, rev *netem.Link, start sim.Time, _ int64) {
+				tl.Blackout(fwd, start, start+2*time.Second)
+				tl.Blackout(rev, start, start+2*time.Second)
+			},
+		},
+		{
+			Name:        "bw-half",
+			Description: "forward bottleneck bandwidth halved for 8s (re-route onto a thinner path)",
+			Disrupt:     8 * time.Second,
+			Build: func(tl *Timeline, fwd, _ *netem.Link, start sim.Time, _ int64) {
+				orig := fwd.Bandwidth
+				tl.BandwidthStep(fwd, start, orig/2)
+				tl.BandwidthStep(fwd, start+8*time.Second, orig)
+			},
+		},
+		{
+			Name:        "delay-step",
+			Description: "forward delay x4 for 5s, then snapped back (the restore reorders packets in flight)",
+			Disrupt:     5 * time.Second,
+			Build: func(tl *Timeline, fwd, _ *netem.Link, start sim.Time, _ int64) {
+				orig := fwd.Delay
+				tl.DelayStep(fwd, start, 4*orig)
+				tl.DelayStep(fwd, start+5*time.Second, orig)
+			},
+		},
+		{
+			Name:        "queue-shrink",
+			Description: "forward bottleneck queue cut to a tenth for 8s (buffer reallocation)",
+			Disrupt:     8 * time.Second,
+			Build: func(tl *Timeline, fwd, _ *netem.Link, start sim.Time, _ int64) {
+				orig := fwd.QueueCap
+				small := orig / 10
+				if small < 1 {
+					small = 1
+				}
+				tl.QueueCapStep(fwd, start, small)
+				tl.QueueCapStep(fwd, start+8*time.Second, orig)
+			},
+		},
+		{
+			Name:        "loss-ramp",
+			Description: "forward i.i.d. loss ramped 0 to 30% over 6s, then cleared (degrading channel)",
+			Disrupt:     6 * time.Second,
+			Build: func(tl *Timeline, fwd, _ *netem.Link, start sim.Time, seed int64) {
+				rng := sim.NewRand(sim.SplitSeed(seed, 102))
+				tl.LossRamp(fwd, start, start+6*time.Second, 0, 0.3, 12, rng)
+			},
+		},
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+// ScenarioByName looks a scenario up by its stable name.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("faults: unknown scenario %q (have %v)", name, ScenarioNames())
+}
+
+// ScenarioNames returns the canned scenario names, sorted.
+func ScenarioNames() []string {
+	var names []string
+	for _, sc := range Scenarios() {
+		names = append(names, sc.Name)
+	}
+	return names
+}

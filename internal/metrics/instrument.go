@@ -122,6 +122,9 @@ func InstrumentLink(sp *Sampler, reg *Registry, l *netem.Link, prefix string) {
 		reg.GaugeFunc(prefix+".dequeued", func() float64 { return float64(l.Stats().Dequeued) })
 		reg.GaugeFunc(prefix+".dropped", func() float64 { return float64(l.Stats().Dropped) })
 		reg.GaugeFunc(prefix+".random_dropped", func() float64 { return float64(l.Stats().RandomDropped) })
+		reg.GaugeFunc(prefix+".blackout_dropped", func() float64 { return float64(l.Stats().BlackoutDropped) })
+		reg.GaugeFunc(prefix+".corrupted", func() float64 { return float64(l.Stats().Corrupted) })
+		reg.GaugeFunc(prefix+".duplicated", func() float64 { return float64(l.Stats().Duplicated) })
 		reg.GaugeFunc(prefix+".delivered", func() float64 { return float64(l.Stats().Delivered) })
 		reg.GaugeFunc(prefix+".bytes", func() float64 { return float64(l.Stats().Bytes) })
 		reg.GaugeFunc(prefix+".max_queue", func() float64 { return float64(l.Stats().MaxQueue) })

@@ -51,6 +51,11 @@ type Manifest struct {
 	SamplerInterval float64      `json:"sampler_interval_s,omitempty"`
 	Series          []SeriesInfo `json:"series,omitempty"`
 
+	// Faults lists the scripted fault events applied during the run, one
+	// formatted line per event (time, kind, link, note), in application
+	// order. Populated by harnesses that drive a faults.Timeline.
+	Faults []string `json:"faults,omitempty"`
+
 	// Final instrument values at the end of the run.
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`

@@ -44,8 +44,9 @@ func TestLinkLossValidation(t *testing.T) {
 	_, net := newTestNet()
 	l := net.AddLink("a", "b", mbps(10), 0, 10)
 	for name, fn := range map[string]func(){
-		"prob 1":  func() { l.SetLoss(1, sim.NewRand(1)) },
-		"nil rng": func() { l.SetLoss(0.5, nil) },
+		"prob > 1": func() { l.SetLoss(1.01, sim.NewRand(1)) },
+		"prob < 0": func() { l.SetLoss(-0.1, sim.NewRand(1)) },
+		"nil rng":  func() { l.SetLoss(0.5, nil) },
 	} {
 		func() {
 			defer func() {
@@ -57,6 +58,38 @@ func TestLinkLossValidation(t *testing.T) {
 		}()
 	}
 	l.SetLoss(0, nil) // disabling needs no RNG
+	l.SetLoss(1, nil) // total loss is a valid interval state and needs no RNG
+}
+
+// TestLinkTotalLoss exercises probability 1: every offered packet dies to
+// the loss process, none to the queue, and delivery stops entirely —
+// the building block total-loss intervals in fault timelines rely on.
+func TestLinkTotalLoss(t *testing.T) {
+	s, net := newTestNet()
+	l := net.AddLink("a", "b", mbps(10), 0, 10)
+	l.SetLoss(1, nil)
+	delivered := 0
+	net.Node("b").Handle(1, func(*Packet) { delivered++ })
+	for i := 0; i < 100; i++ {
+		if net.Send(&Packet{Flow: 1, Size: 100, Path: []*Link{l}}) {
+			t.Fatal("Send accepted a packet under total loss")
+		}
+	}
+	s.Run()
+	if delivered != 0 {
+		t.Errorf("delivered %d packets under total loss", delivered)
+	}
+	if got := l.Stats().RandomDropped; got != 100 {
+		t.Errorf("RandomDropped = %d, want 100", got)
+	}
+	l.SetLoss(0, nil)
+	if !net.Send(&Packet{Flow: 1, Size: 100, Path: []*Link{l}}) {
+		t.Error("Send rejected after the loss interval cleared")
+	}
+	s.Run()
+	if delivered != 1 {
+		t.Errorf("delivered %d after clearing total loss, want 1", delivered)
+	}
 }
 
 func TestLinkJitterReordersPackets(t *testing.T) {

@@ -15,8 +15,17 @@ type LinkStats struct {
 	// Dropped is the number of packets rejected because the queue was full.
 	Dropped uint64
 	// RandomDropped is the number of packets lost to the configured
-	// random-loss process (SetLoss) rather than queue overflow.
+	// loss process (SetLoss / SetLossModel) rather than queue overflow.
 	RandomDropped uint64
+	// BlackoutDropped is the number of packets offered while the link was
+	// administratively down (SetDown).
+	BlackoutDropped uint64
+	// Corrupted is the number of packets that traversed the link but were
+	// discarded at the far end with a broken checksum (SetCorruption).
+	Corrupted uint64
+	// Duplicated is the number of extra packet copies the link delivered
+	// (SetDuplication); each copy also counts in Delivered.
+	Duplicated uint64
 	// Dequeued is the number of packets whose serialization completed,
 	// freeing their queue slot.
 	Dequeued uint64
@@ -28,14 +37,15 @@ type LinkStats struct {
 	MaxQueue int
 }
 
-// DropRate returns the fraction of offered packets that were dropped
-// (queue overflow plus random loss).
+// DropRate returns the fraction of offered packets that were lost on this
+// link: queue overflow, random loss, blackout rejections, and corruption.
 func (s LinkStats) DropRate() float64 {
-	offered := s.Enqueued + s.Dropped + s.RandomDropped
+	offered := s.Enqueued + s.Dropped + s.RandomDropped + s.BlackoutDropped
 	if offered == 0 {
 		return 0
 	}
-	return float64(s.Dropped+s.RandomDropped) / float64(offered)
+	lost := s.Dropped + s.RandomDropped + s.BlackoutDropped + s.Corrupted
+	return float64(lost) / float64(offered)
 }
 
 // Link is a unidirectional store-and-forward link with a drop-tail FIFO
@@ -46,48 +56,76 @@ func (s LinkStats) DropRate() float64 {
 // QueueCap packets the new packet is dropped (drop-tail). After
 // serialization (Size*8/Bandwidth) the packet propagates for Delay and is
 // delivered to the To node.
+//
+// Bandwidth, Delay, QueueCap, and the loss process may all change mid-run
+// (see SetBandwidth and friends); fault timelines in internal/faults drive
+// these setters at scheduled virtual times. Parameter changes affect only
+// packets enqueued afterwards — anything already serialized or propagating
+// keeps the schedule it was committed to, so a delay *decrease* reorders
+// the packets that straddle it, exactly like a route change would.
 type Link struct {
 	// Name identifies the link in traces, e.g. "r0->r1".
 	Name string
 	// From and To are the link endpoints.
 	From, To *Node
-	// Bandwidth is the serialization rate in bits per second.
+	// Bandwidth is the serialization rate in bits per second. Mutate only
+	// through SetBandwidth once the simulation is running.
 	Bandwidth int64
-	// Delay is the propagation delay.
+	// Delay is the propagation delay. Mutate only through SetDelay once
+	// the simulation is running.
 	Delay time.Duration
 	// QueueCap is the output-queue capacity in packets, counting the
-	// packet currently being serialized (ns-2 convention).
+	// packet currently being serialized (ns-2 convention). Mutate only
+	// through SetQueueCap once the simulation is running.
 	QueueCap int
 
 	sched     *sim.Scheduler
 	queueLen  int
 	busyUntil sim.Time
 	stats     LinkStats
+	down      bool
 
-	lossProb  float64
-	lossRNG   *rand.Rand
-	jitter    time.Duration
-	jitterRNG *rand.Rand
-	red       *RED
+	loss       LossModel
+	jitter     time.Duration
+	jitterRNG  *rand.Rand
+	corruptP   float64
+	corruptRNG *rand.Rand
+	dupP       float64
+	dupRNG     *rand.Rand
+	red        *RED
 
 	// OnDrop, if non-nil, is invoked for every packet lost on this link
-	// (queue overflow or random loss); used by traces and tests.
+	// (queue overflow, random loss, blackout, or corruption); used by
+	// traces and tests.
 	OnDrop func(*Packet)
+	// OnDeliver, if non-nil, is invoked for every packet this link hands
+	// to the downstream node, just before the hand-off (the packet still
+	// reads as being on this link). Fault experiments and traces observe
+	// successful per-link deliveries here without wrapping nodes.
+	OnDeliver func(*Packet)
 }
 
 // SetLoss configures independent per-packet random loss with the given
-// probability, modeling a lossy (e.g. wireless) medium. The RNG must come
-// from sim.NewRand so runs stay deterministic. Probability 0 disables.
+// probability in [0, 1], modeling a lossy (e.g. wireless) medium.
+// Probability 0 disables the loss process; probability 1 is total loss
+// (every offered packet dies — the building block of loss-ramp fault
+// timelines). The RNG must come from sim.NewRand so runs stay
+// deterministic; it may be nil for the degenerate probabilities 0 and 1.
 func (l *Link) SetLoss(prob float64, rng *rand.Rand) {
-	if prob < 0 || prob >= 1 {
-		panic(fmt.Sprintf("netem: loss probability %v out of [0,1)", prob))
+	if prob == 0 {
+		l.loss = nil
+		return
 	}
-	if prob > 0 && rng == nil {
-		panic("netem: SetLoss requires a seeded RNG")
-	}
-	l.lossProb = prob
-	l.lossRNG = rng
+	l.loss = NewIIDLoss(prob, rng)
 }
+
+// SetLossModel installs an arbitrary loss process (nil disables). The
+// i.i.d. model SetLoss builds and the Gilbert–Elliott burst model in
+// internal/faults are the shipped implementations.
+func (l *Link) SetLossModel(m LossModel) { l.loss = m }
+
+// LossModel returns the installed loss process, or nil.
+func (l *Link) LossModel() LossModel { return l.loss }
 
 // SetJitter adds an independent uniform extra propagation delay in
 // [0, jitter] per packet, modeling per-packet queueing variation in a
@@ -105,6 +143,80 @@ func (l *Link) SetJitter(jitter time.Duration, rng *rand.Rand) {
 	l.jitterRNG = rng
 }
 
+// SetCorruption makes each delivered packet arrive corrupted with the
+// given probability: the packet consumes its queue slot, serialization
+// time, and propagation delay, then is discarded at the far end instead of
+// handed to the node (a checksum failure). The RNG must come from
+// sim.NewRand.
+func (l *Link) SetCorruption(prob float64, rng *rand.Rand) {
+	if prob < 0 || prob > 1 {
+		panic(fmt.Sprintf("netem: corruption probability %v out of [0,1]", prob))
+	}
+	if prob > 0 && rng == nil {
+		panic("netem: SetCorruption requires a seeded RNG")
+	}
+	l.corruptP = prob
+	l.corruptRNG = rng
+}
+
+// SetDuplication makes the link deliver an extra copy of each packet with
+// the given probability, modeling link-layer retransmission duplicates.
+// The copy arrives immediately after the original with an independent
+// route state, so a duplicate on a multi-hop path forwards normally. The
+// RNG must come from sim.NewRand.
+func (l *Link) SetDuplication(prob float64, rng *rand.Rand) {
+	if prob < 0 || prob > 1 {
+		panic(fmt.Sprintf("netem: duplication probability %v out of [0,1]", prob))
+	}
+	if prob > 0 && rng == nil {
+		panic("netem: SetDuplication requires a seeded RNG")
+	}
+	l.dupP = prob
+	l.dupRNG = rng
+}
+
+// SetDown takes the link administratively down (true) or back up (false),
+// modeling a blackout: while down, every offered packet is rejected and
+// counted in BlackoutDropped. Packets already accepted — queued,
+// serializing, or propagating — were on the wire before the cut and still
+// deliver; only new enqueues die. Bringing a link back up requires no
+// other reset: the serializer restarts with the first accepted packet.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// IsDown reports whether the link is administratively down.
+func (l *Link) IsDown() bool { return l.down }
+
+// SetBandwidth changes the serialization rate mid-run. Packets already
+// being serialized finish at their committed time; the new rate applies
+// from the next enqueue.
+func (l *Link) SetBandwidth(bps int64) {
+	if bps <= 0 {
+		panic(fmt.Sprintf("netem: link %s bandwidth set to non-positive %d", l, bps))
+	}
+	l.Bandwidth = bps
+}
+
+// SetDelay changes the propagation delay mid-run. In-flight packets keep
+// the delay they departed with, so a decrease reorders packets across the
+// step — the route-shortening event the paper's §1 motivates.
+func (l *Link) SetDelay(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("netem: link %s delay set to negative %v", l, d))
+	}
+	l.Delay = d
+}
+
+// SetQueueCap changes the queue capacity mid-run. Shrinking below the
+// current occupancy drops nothing — already-accepted packets drain
+// normally — but rejects new arrivals until the queue falls under the new
+// capacity.
+func (l *Link) SetQueueCap(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("netem: link %s queue capacity set to non-positive %d", l, n))
+	}
+	l.QueueCap = n
+}
+
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
@@ -117,11 +229,18 @@ func (l *Link) TxTime(bytes int) time.Duration {
 }
 
 // Enqueue offers a packet to the link's output queue. It returns false if
-// the packet was dropped (queue full). On success the packet will be
-// delivered to the downstream node after queueing, serialization, and
-// propagation delays.
+// the packet was dropped (link down, loss process, or queue full). On
+// success the packet will be delivered to the downstream node after
+// queueing, serialization, and propagation delays.
 func (l *Link) Enqueue(p *Packet) bool {
-	if l.lossProb > 0 && l.lossRNG.Float64() < l.lossProb {
+	if l.down {
+		l.stats.BlackoutDropped++
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return false
+	}
+	if l.loss != nil && l.loss.Drop(p.Size) {
 		l.stats.RandomDropped++
 		if l.OnDrop != nil {
 			l.OnDrop(p)
@@ -166,13 +285,37 @@ func (l *Link) Enqueue(p *Packet) bool {
 	if l.jitter > 0 {
 		delay += time.Duration(l.jitterRNG.Int63n(int64(l.jitter) + 1))
 	}
-	l.sched.At(finish+delay, func() {
-		l.stats.Delivered++
-		l.stats.Bytes += uint64(p.Size)
-		p.advance()
-		l.To.receive(p)
-	})
+	// Impairment draws happen at enqueue time, in arrival order, so the
+	// RNG streams are consumed deterministically regardless of how the
+	// delivery events interleave with other links' traffic.
+	corrupt := l.corruptP > 0 && l.corruptRNG.Float64() < l.corruptP
+	l.sched.At(finish+delay, func() { l.deliver(p, corrupt) })
+	if l.dupP > 0 && l.dupRNG.Float64() < l.dupP {
+		l.stats.Duplicated++
+		dup := *p
+		l.sched.At(finish+delay, func() { l.deliver(&dup, false) })
+	}
 	return true
+}
+
+// deliver completes one packet's traversal: corrupted packets die at the
+// far end (counted, OnDrop-notified); clean packets are handed to the
+// downstream node.
+func (l *Link) deliver(p *Packet, corrupt bool) {
+	if corrupt {
+		l.stats.Corrupted++
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return
+	}
+	l.stats.Delivered++
+	l.stats.Bytes += uint64(p.Size)
+	if l.OnDeliver != nil {
+		l.OnDeliver(p)
+	}
+	p.advance()
+	l.To.receive(p)
 }
 
 func (l *Link) String() string {

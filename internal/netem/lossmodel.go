@@ -1,0 +1,54 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LossModel decides, per offered packet, whether the link's loss process
+// eats it before it reaches the output queue. Implementations are stateful
+// (a burst model remembers which state it is in) and must draw all
+// randomness from sim.NewRand sources so runs stay deterministic.
+//
+// The simulator ships two implementations: IIDLoss below (the classic
+// independent per-packet loss SetLoss has always configured) and the
+// Gilbert–Elliott burst model in internal/faults.
+type LossModel interface {
+	// Drop reports whether a packet of the given wire size is lost.
+	// It is called exactly once per offered packet, in arrival order.
+	Drop(size int) bool
+}
+
+// IIDLoss drops each packet independently with a fixed probability,
+// modeling a memoryless lossy medium (e.g. an idealized wireless hop).
+type IIDLoss struct {
+	// Prob is the per-packet drop probability in [0, 1].
+	Prob float64
+	// RNG is the deterministic source; required when 0 < Prob < 1.
+	RNG *rand.Rand
+}
+
+// NewIIDLoss validates the probability and returns an i.i.d. loss model.
+// The RNG may be nil only for the degenerate probabilities 0 and 1.
+func NewIIDLoss(prob float64, rng *rand.Rand) *IIDLoss {
+	if prob < 0 || prob > 1 {
+		panic(fmt.Sprintf("netem: loss probability %v out of [0,1]", prob))
+	}
+	if prob > 0 && prob < 1 && rng == nil {
+		panic("netem: IIDLoss requires a seeded RNG")
+	}
+	return &IIDLoss{Prob: prob, RNG: rng}
+}
+
+// Drop implements LossModel. The degenerate probabilities 0 and 1 never
+// consult the RNG, so a total-loss interval does not perturb the stream
+// other consumers of a shared source would see.
+func (m *IIDLoss) Drop(int) bool {
+	if m.Prob <= 0 {
+		return false
+	}
+	if m.Prob >= 1 {
+		return true
+	}
+	return m.RNG.Float64() < m.Prob
+}

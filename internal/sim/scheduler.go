@@ -138,6 +138,33 @@ func (s *Scheduler) RunUntil(t Time) {
 	}
 }
 
+// RunUntilCond executes events until done() reports true, the clock would
+// pass limit, or the queue empties — whichever comes first. done is
+// evaluated after every event, so the clock stops at the exact event that
+// satisfied it. It returns true iff done was satisfied. Tests that wait
+// for a condition with an unknown completion time (a transfer finishing
+// after a blackout, say) use this instead of guessing a RunUntil horizon;
+// the limit bounds livelocks, e.g. a sender retransmitting forever without
+// progressing.
+func (s *Scheduler) RunUntilCond(limit Time, done func() bool) bool {
+	if done() {
+		return true
+	}
+	for {
+		e := s.peek()
+		if e == nil || e.at > limit {
+			if s.now < limit {
+				s.now = limit
+			}
+			return false
+		}
+		s.Step()
+		if done() {
+			return true
+		}
+	}
+}
+
 // peek returns the next non-cancelled event without executing it, lazily
 // discarding cancelled entries from the top of the heap.
 func (s *Scheduler) peek() *Event {
