@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"tcppr/internal/bench"
+)
+
+// TestBenchArtifact regenerates BENCH_sim.json at the repo root and gates
+// the allocation regressions: the pooled hot paths must keep at least a
+// 30% allocs/op reduction against the recorded pre-pooling baseline.
+//
+// The test runs only when benchmarks were requested, so a plain
+// `go test ./...` never rewrites the artifact:
+//
+//	go test -bench . -benchtime 1x -run TestBenchArtifact .
+func TestBenchArtifact(t *testing.T) {
+	f := flag.Lookup("test.bench")
+	if f == nil || f.Value.String() == "" {
+		t.Skip("artifact regenerates only under -bench (see PERFORMANCE.md)")
+	}
+	art := bench.RunSuite()
+	if err := art.WriteFile("BENCH_sim.json"); err != nil {
+		t.Fatalf("writing BENCH_sim.json: %v", err)
+	}
+	for _, m := range art.Results {
+		t.Logf("%-24s %12.1f ns/op %6d allocs/op %8d B/op  sim×%.0f",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SimSecondsPerWallSecond)
+	}
+	for _, r := range bench.Regressions(art, 0.30) {
+		t.Errorf("allocation regression: %s", r)
+	}
+}

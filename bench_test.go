@@ -210,18 +210,24 @@ func BenchmarkSchedulerEvents(b *testing.B) {
 	s.Run()
 }
 
-// BenchmarkLinkForwarding measures per-packet cost through a two-hop path.
+// BenchmarkLinkForwarding measures per-packet cost through a two-hop path,
+// drawing packets from the network's pool the way tcp.Flow does.
 func BenchmarkLinkForwarding(b *testing.B) {
 	s := sim.NewScheduler()
 	net := netem.NewNetwork(s)
 	l1 := net.AddLink("a", "b", 1e9, time.Microsecond, 1<<30)
 	l2 := net.AddLink("b", "c", 1e9, time.Microsecond, 1<<30)
+	path := []*netem.Link{l1, l2}
 	delivered := 0
 	net.Node("c").Handle(1, func(*netem.Packet) { delivered++ })
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.Send(&netem.Packet{Flow: 1, Size: 1000, Path: []*netem.Link{l1, l2}})
+		p := net.NewPacket()
+		p.Flow = 1
+		p.Size = 1000
+		p.Path = path
+		net.Send(p)
 		if i%1024 == 0 {
 			s.Run()
 		}

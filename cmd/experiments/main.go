@@ -2,188 +2,107 @@
 //
 // Usage:
 //
-//	experiments [-run name] [-fig n] [-quick] [-csv dir] [-metrics dir]
+//	experiments [-run name] [-fig n] [-list] [-quick] [-csv dir]
+//	            [-metrics dir] [-parallel n] [-seed n]
+//	            [-cpuprofile file] [-memprofile file]
 //
-// Names: fig2, fig3, fig4, fig6 (the paper's figures), ablation-beta,
-// ablation-memorize, ablation-sendcwnd, ablation-holemode (design-choice
-// ablations), ext-threshold, ext-reorder, ext-robustness, ext-door
-// (extensions), faultmatrix (TCP-PR vs baselines under scripted faults),
-// or all (default). -fig N is shorthand for -run figN.
-// -quick substitutes shortened simulation windows (useful for smoke
-// runs); the default reproduces the paper's 60-second steady-state
-// measurement protocol. With -csv the raw per-point data are also written
-// as CSV files into the given directory. With -metrics the figures also
-// emit one time-series dump (<cell>.series.tsv: cwnd, ssthresh, RTT
-// estimates, queue depth, drops) and one run manifest
-// (<cell>.manifest.json: seed, topology, parameters, events/sec, final
-// counters) per simulation cell, plus a run-level aggregate.
+// Every experiment is a registered experiments.Spec; -list prints the
+// registry with one-line descriptions. -run selects one by name (default
+// all, in registry order); -fig N is shorthand for -run figN. -quick
+// substitutes shortened simulation windows (useful for smoke runs); the
+// default reproduces the paper's 60-second steady-state measurement
+// protocol. With -csv the raw per-point data are also written as CSV files
+// into the given directory. With -metrics the figures also emit one
+// time-series dump (<cell>.series.tsv: cwnd, ssthresh, RTT estimates,
+// queue depth, drops) and one run manifest (<cell>.manifest.json: seed,
+// topology, parameters, events/sec, final counters) per simulation cell,
+// plus a run-level aggregate. -parallel caps the number of concurrent
+// simulation cells (default: one per CPU); use -parallel 1 together with
+// -cpuprofile for cleanly attributable profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
 	"tcppr/internal/experiments"
+	"tcppr/internal/profiling"
 )
 
 func main() {
-	runName := flag.String("run", "all", "experiment to run: fig2|fig3|fig4|fig6|ablation-beta|ablation-memorize|ablation-sendcwnd|ablation-holemode|ext-door|ext-reorder|ext-robustness|ext-threshold|faultmatrix|all")
+	runName := flag.String("run", "all", "experiment to run (see -list), or all")
 	fig := flag.Int("fig", 0, "shorthand: -fig 2 is -run fig2")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	quick := flag.Bool("quick", false, "use shortened simulation windows")
 	csvDir := flag.String("csv", "", "directory to write per-point CSV files into")
 	metricsDir := flag.String("metrics", "", "directory to write per-cell time series + run manifests into")
+	parallel := flag.Int("parallel", 0, "max concurrent simulation cells (0 = one per CPU)")
+	seed := flag.Int64("seed", 0, "base seed override for seeded experiments (0 = default)")
+	prof := profiling.Register()
 	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.Registry() {
+			fmt.Printf("  %-18s %s\n", s.Name, s.Describe)
+		}
+		return
+	}
 
 	if *fig != 0 {
 		*runName = fmt.Sprintf("fig%d", *fig)
 	}
+	experiments.SetParallelism(*parallel)
 
-	d := experiments.Full
+	cfg := experiments.RunConfig{Seed: *seed}
 	if *quick {
-		d = experiments.Quick
+		cfg.Durations = experiments.Quick
 	}
-
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
 		}
+		cfg.CSVDir = *csvDir
 	}
-
-	var mopts *experiments.MetricsOptions
 	if *metricsDir != "" {
 		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
 			fatal(err)
 		}
-		mopts = &experiments.MetricsOptions{Dir: *metricsDir}
+		cfg.Metrics = &experiments.MetricsOptions{Dir: *metricsDir}
 	}
 
-	selected := func(name string) bool {
-		return *runName == "all" || *runName == name
+	var specs []experiments.Spec
+	if *runName == "all" {
+		specs = experiments.Registry()
+	} else {
+		s, ok := experiments.Lookup(*runName)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (valid: %s, all)",
+				*runName, strings.Join(experiments.Names(), ", ")))
+		}
+		specs = []experiments.Spec{s}
 	}
-	ran := false
 
-	if selected("fig2") {
-		ran = true
-		for _, topology := range []string{"dumbbell", "parkinglot"} {
-			start := time.Now()
-			res := experiments.RunFig2(experiments.Fig2Config{Topology: topology, Durations: d, Metrics: mopts})
-			printTable(res.Table(), start)
-			writeCSV(*csvDir, "fig2_"+topology+".csv", res.PerFlowTable())
-		}
-		writeAggregate(mopts, "fig2")
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
 	}
-	if selected("fig3") {
-		ran = true
-		for _, topology := range []string{"dumbbell", "parkinglot"} {
-			start := time.Now()
-			res := experiments.RunFig3(experiments.Fig3Config{Topology: topology, Durations: d, Metrics: mopts})
-			printTable(res.MeanTable(), start)
-			writeCSV(*csvDir, "fig3_"+topology+".csv", res.Table())
-		}
-		writeAggregate(mopts, "fig3")
-	}
-	if selected("fig4") {
-		ran = true
-		for _, topology := range []string{"dumbbell", "parkinglot"} {
-			start := time.Now()
-			res := experiments.RunFig4(experiments.Fig4Config{Topology: topology, Durations: d, Metrics: mopts})
-			printTable(res.Table(), start)
-			writeCSV(*csvDir, "fig4_"+topology+".csv", res.Table())
-		}
-		writeAggregate(mopts, "fig4")
-	}
-	if selected("fig6") {
-		ran = true
+
+	for _, s := range specs {
 		start := time.Now()
-		res := experiments.RunFig6(experiments.Fig6Config{Durations: d, Metrics: mopts})
-		for _, t := range res.Table() {
-			printTable(t, start)
-		}
-		for i, t := range res.Table() {
-			writeCSV(*csvDir, fmt.Sprintf("fig6_delay%d.csv", i), t)
-		}
-		writeAggregate(mopts, "fig6")
-	}
-	if selected("ablation-beta") {
-		ran = true
-		start := time.Now()
-		res := experiments.RunAblationBeta(experiments.AblationBetaConfig{Durations: d})
-		printTable(res.Table(), start)
-		writeCSV(*csvDir, "ablation_beta.csv", res.Table())
-	}
-	if selected("ablation-memorize") {
-		ran = true
-		start := time.Now()
-		res := experiments.RunAblationMemorize(d)
-		printTable(res.Table("Ablation: memorize list (single flow, lossy dumbbell)"), start)
-	}
-	if selected("ablation-sendcwnd") {
-		ran = true
-		start := time.Now()
-		res := experiments.RunAblationSendCwnd(d)
-		printTable(res.Table("Ablation: halve from send-time cwnd vs current cwnd"), start)
-	}
-	if selected("ablation-holemode") {
-		ran = true
-		start := time.Now()
-		printTable(experiments.RunAblationHoleMode(d), start)
-	}
-	if selected("ext-threshold") {
-		ran = true
-		start := time.Now()
-		res := experiments.RunThresholdSweep(d)
-		printTable(res, start)
-		writeCSV(*csvDir, "ext_threshold.csv", res)
-	}
-	if selected("ext-reorder") {
-		ran = true
-		start := time.Now()
-		res := experiments.ReorderTable(experiments.RunReorderProfile(d, 0))
-		printTable(res, start)
-		writeCSV(*csvDir, "ext_reorder.csv", res)
-	}
-	if selected("ext-robustness") {
-		ran = true
-		start := time.Now()
-		res := experiments.RunRobustness(d)
-		printTable(res.Table(), start)
-		writeCSV(*csvDir, "ext_robustness.csv", res.Table())
-	}
-	if selected("faultmatrix") {
-		ran = true
-		start := time.Now()
-		cfg := experiments.FaultMatrixConfig{Metrics: mopts}
-		if *quick {
-			cfg.Total = 20 * time.Second
-			cfg.FaultAt = 3 * time.Second
-		}
-		res, err := experiments.RunFaultMatrix(cfg)
+		rep, err := s.Run(cfg)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("%s: %w", s.Name, err))
 		}
-		printTable(res.Table(), start)
-		writeCSV(*csvDir, "faultmatrix.csv", res.Table())
-		writeAggregate(mopts, "faultmatrix")
-	}
-	if selected("ext-door") {
-		ran = true
-		start := time.Now()
-		res := experiments.RunExtComparison(d)
-		for _, t := range res.Table() {
-			t.Title = "Extension: Fig 6 protocol set + TCP-DOOR + Eifel (10 ms links)"
+		for _, t := range rep.Tables() {
 			printTable(t, start)
-		}
-		for _, t := range res.Table() {
-			writeCSV(*csvDir, "ext_door.csv", t)
 		}
 	}
 
-	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q", *runName))
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -199,29 +118,6 @@ func firstWord(s string) string {
 		return s[:i]
 	}
 	return s
-}
-
-func writeAggregate(m *experiments.MetricsOptions, experiment string) {
-	if m == nil {
-		return
-	}
-	if err := m.WriteAggregate(experiment); err != nil {
-		fatal(err)
-	}
-}
-
-func writeCSV(dir, name string, t *experiments.Table) {
-	if dir == "" {
-		return
-	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	if err := t.WriteCSV(f); err != nil {
-		fatal(err)
-	}
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 	"tcppr/internal/faults"
 	"tcppr/internal/metrics"
 	"tcppr/internal/netem"
+	"tcppr/internal/profiling"
 	"tcppr/internal/routing"
 	"tcppr/internal/sim"
 	"tcppr/internal/stats"
@@ -41,6 +42,7 @@ func main() {
 	metricsDir := flag.String("metrics", "", "directory to write time series + a run manifest into")
 	faultName := flag.String("faults", "", "canned fault scenario to inject at the bottleneck ('list' to enumerate)")
 	faultAt := flag.Duration("fault-at", 5*time.Second, "when the fault scenario's disruption begins")
+	prof := profiling.Register()
 	flag.Parse()
 
 	if *faultName == "list" {
@@ -61,6 +63,11 @@ func main() {
 	}
 	pr := workload.PRParams{Alpha: *alpha, Beta: *beta}
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatalErr(err)
+	}
+
 	switch *topology {
 	case "dumbbell", "parkinglot":
 		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, *faultName, *faultAt, *seed)
@@ -73,6 +80,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tcpsim: unknown topology %q\n", *topology)
 		os.Exit(1)
+	}
+
+	if err := stopProf(); err != nil {
+		fatalErr(err)
 	}
 }
 

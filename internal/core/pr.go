@@ -190,13 +190,18 @@ func (c *Config) fill() {
 	}
 }
 
-// flight is one entry of the to-be-ack list.
+// flight is one entry of the to-be-ack list. seq is carried on the struct
+// so the loss timer's callback argument is the flight itself — the shared
+// checkDropFn trampoline reads it back and performs the same
+// lookup-by-sequence the paper's event loop does, without a per-send
+// closure.
 type flight struct {
+	seq        int64
 	sentAt     sim.Time
 	cwndAtSend float64
 	retx       bool
 	memorized  bool
-	timer      *sim.Event
+	timer      sim.Handle
 }
 
 // Sender is a TCP-PR sender with an infinite backlog (FTP-style).
@@ -223,8 +228,9 @@ type Sender struct {
 	holeStart     sim.Time // when the current hole opened (first duplicate)
 
 	pausedUntil sim.Time // extreme-loss send pause
-	resumeTimer *sim.Event
-	lastRetx    sim.Time // time of the last retransmission (see checkDrop)
+	resumeTimer *sim.Timer
+	checkDropFn func(any) // prebound trampoline for per-packet loss timers
+	lastRetx    sim.Time  // time of the last retransmission (see checkDrop)
 	hasRetx     bool
 
 	txSeq int64
@@ -251,7 +257,7 @@ type Sender struct {
 // New creates a TCP-PR sender bound to a flow environment.
 func New(env tcp.SenderEnv, cfg Config) *Sender {
 	cfg.fill()
-	return &Sender{
+	s := &Sender{
 		env:      env,
 		cfg:      cfg,
 		mode:     SlowStart,
@@ -260,7 +266,15 @@ func New(env tcp.SenderEnv, cfg Config) *Sender {
 		mxrtt:    cfg.InitialMxrtt,
 		inflight: make(map[int64]*flight),
 	}
+	s.resumeTimer = sim.NewTimer(env.Sched, s.flush)
+	s.checkDropFn = s.checkDropEvent
+	return s
 }
+
+// checkDropEvent adapts checkDrop to the scheduler's closure-free callback
+// shape; prebound once as checkDropFn so arming a loss timer allocates
+// nothing beyond the flight entry itself.
+func (s *Sender) checkDropEvent(arg any) { s.checkDrop(arg.(*flight).seq) }
 
 var _ tcp.Sender = (*Sender)(nil)
 
@@ -480,7 +494,7 @@ func (s *Sender) checkDrop(seq int64) {
 	}
 	deadline := anchor + s.mxrtt
 	if now < deadline {
-		f.timer = s.env.Sched.At(deadline, func() { s.checkDrop(seq) })
+		f.timer = s.env.Sched.AtFunc(deadline, s.checkDropFn, f)
 		return
 	}
 	s.onDrop(seq, f, false)
@@ -603,8 +617,8 @@ func (s *Sender) pause(d time.Duration) {
 func (s *Sender) flush() {
 	now := s.env.Now()
 	if now < s.pausedUntil {
-		if s.resumeTimer == nil || !s.resumeTimer.Pending() {
-			s.resumeTimer = s.env.Sched.At(s.pausedUntil, s.flush)
+		if !s.resumeTimer.Pending() {
+			s.resumeTimer.Reset(s.pausedUntil)
 		}
 		return
 	}
@@ -627,8 +641,8 @@ func (s *Sender) flush() {
 			if interval <= 0 {
 				interval = time.Millisecond
 			}
-			if s.resumeTimer == nil || !s.resumeTimer.Pending() {
-				s.resumeTimer = s.env.Sched.After(interval, s.flush)
+			if !s.resumeTimer.Pending() {
+				s.resumeTimer.ResetAfter(interval)
 			}
 			return
 		}
@@ -690,8 +704,8 @@ func (s *Sender) nextToSend() (seq int64, retx bool) {
 
 func (s *Sender) send(seq int64, retx bool) {
 	now := s.env.Now()
-	f := &flight{sentAt: now, cwndAtSend: s.cwnd, retx: retx}
-	f.timer = s.env.Sched.At(now+s.mxrtt, func() { s.checkDrop(seq) })
+	f := &flight{seq: seq, sentAt: now, cwndAtSend: s.cwnd, retx: retx}
+	f.timer = s.env.Sched.AtFunc(now+s.mxrtt, s.checkDropFn, f)
 	s.inflight[seq] = f
 	if retx {
 		s.lastRetx = now

@@ -3,7 +3,31 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// maxWorkers caps the parallelMap worker pool; 0 means "use GOMAXPROCS".
+var maxWorkers atomic.Int64
+
+// SetParallelism caps the number of concurrent experiment cells. n <= 0
+// restores the default (one worker per available CPU). It exists for the
+// CLI's -parallel flag: profiling runs want -parallel 1 for clean pprof
+// attribution, and memory-tight machines want fewer concurrent cells.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxWorkers.Store(int64(n))
+}
+
+// Parallelism reports the current worker cap: the value set by
+// SetParallelism, or GOMAXPROCS when unset.
+func Parallelism() int {
+	if n := int(maxWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // parallelMap runs fn(i) for i in [0, n) across a bounded worker pool and
 // returns the results in index order. Every experiment cell builds its own
@@ -15,7 +39,7 @@ func parallelMap[T any](n int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := Parallelism()
 	if workers > n {
 		workers = n
 	}

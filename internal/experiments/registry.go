@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tcppr/internal/workload"
+)
+
+// RunConfig is the shared configuration every registered experiment
+// accepts. It unifies the knobs the per-figure Run* functions grew
+// independently; each Spec maps the fields onto its underlying config and
+// ignores what does not apply (documented per field).
+type RunConfig struct {
+	// Durations sets the simulated warm-up and measurement windows. The
+	// zero value selects Full, matching the per-figure configs.
+	Durations Durations
+	// Metrics, when non-nil, writes per-cell time series and manifests
+	// (plus a run aggregate for the figure-grade experiments). Only the
+	// experiments that plumb observers honor it: fig2, fig3, fig4, fig6,
+	// and faultmatrix.
+	Metrics *MetricsOptions
+	// CSVDir, when non-empty, is the directory the experiment's raw
+	// per-point CSV files are written into, under the same file names the
+	// CLI has always used. Empty disables CSV output.
+	CSVDir string
+	// Seed overrides the experiment's default base seed where one exists
+	// (fig6, ext-door, faultmatrix); zero keeps the default. Experiments
+	// with hard-wired per-cell seed derivations ignore it.
+	Seed int64
+	// Smoke trims sweep axes to one or two representative cells so every
+	// experiment finishes in test time. It changes which cells run, never
+	// how a cell runs — the registry round-trip test uses it to prove
+	// each Spec end to end without paying for full sweeps.
+	Smoke bool
+}
+
+// durations resolves the zero value to the paper's full protocol.
+func (c RunConfig) durations() Durations {
+	if c.Durations == (Durations{}) {
+		return Full
+	}
+	return c.Durations
+}
+
+// topologies returns the topology sweep for the fig2/3/4 family.
+func (c RunConfig) topologies() []string {
+	if c.Smoke {
+		return []string{"dumbbell"}
+	}
+	return []string{"dumbbell", "parkinglot"}
+}
+
+// CSVFile is one raw-data export of a Report: the file name the CLI
+// writes (no directory) and the table holding the rows.
+type CSVFile struct {
+	Name  string
+	Table *Table
+}
+
+// Report is the outcome of one registered experiment run: the printable
+// result tables, in display order, and the raw per-point CSV exports
+// (already written to RunConfig.CSVDir when that was set).
+type Report interface {
+	Tables() []*Table
+	CSVFiles() []CSVFile
+}
+
+// report is the concrete Report every Spec returns.
+type report struct {
+	tables []*Table
+	csvs   []CSVFile
+}
+
+func (r report) Tables() []*Table    { return r.tables }
+func (r report) CSVFiles() []CSVFile { return r.csvs }
+
+// finish completes a spec run: fold the metrics aggregate (figure-grade
+// experiments only), write the CSV exports, and hand the report back.
+func (r report) finish(cfg RunConfig, name string, aggregate bool) (Report, error) {
+	if aggregate && cfg.Metrics != nil {
+		if err := cfg.Metrics.WriteAggregate(name); err != nil {
+			return nil, fmt.Errorf("%s: aggregate: %w", name, err)
+		}
+	}
+	if cfg.CSVDir != "" {
+		for _, f := range r.csvs {
+			if err := writeCSVFile(filepath.Join(cfg.CSVDir, f.Name), f.Table); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	}
+	return r, nil
+}
+
+func writeCSVFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Spec is one registered experiment: a stable CLI name, a one-line
+// description, and a runner accepting the unified RunConfig.
+type Spec struct {
+	Name     string
+	Describe string
+	Run      func(RunConfig) (Report, error)
+}
+
+// Registry returns the experiment specs in display order — the paper's
+// figures first, then the ablations, extensions, and the fault matrix.
+// The slice is freshly allocated; callers may reorder it.
+func Registry() []Spec {
+	return append([]Spec(nil), specs...)
+}
+
+// Lookup returns the named spec.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns the registered experiment names in display order.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+var specs = []Spec{
+	{
+		Name:     "fig2",
+		Describe: "Fig 2 fairness: TCP-PR vs TCP-SACK normalized throughput across flow counts",
+		Run: func(cfg RunConfig) (Report, error) {
+			var rep report
+			for _, topology := range cfg.topologies() {
+				c := Fig2Config{Topology: topology, Durations: cfg.durations(), Metrics: cfg.Metrics}
+				if cfg.Smoke {
+					c.FlowCounts = []int{8}
+				}
+				res := RunFig2(c)
+				rep.tables = append(rep.tables, res.Table())
+				rep.csvs = append(rep.csvs, CSVFile{"fig2_" + topology + ".csv", res.PerFlowTable()})
+			}
+			return rep.finish(cfg, "fig2", true)
+		},
+	},
+	{
+		Name:     "fig3",
+		Describe: "Fig 3 CoV of throughput vs loss rate, repeated over seeds",
+		Run: func(cfg RunConfig) (Report, error) {
+			var rep report
+			for _, topology := range cfg.topologies() {
+				c := Fig3Config{Topology: topology, Durations: cfg.durations(), Metrics: cfg.Metrics}
+				if cfg.Smoke {
+					c.BandwidthsMbps = []float64{10}
+					c.Seeds = 1
+					c.Flows = 8
+				}
+				res := RunFig3(c)
+				rep.tables = append(rep.tables, res.MeanTable())
+				rep.csvs = append(rep.csvs, CSVFile{"fig3_" + topology + ".csv", res.Table()})
+			}
+			return rep.finish(cfg, "fig3", true)
+		},
+	},
+	{
+		Name:     "fig4",
+		Describe: "Fig 4 alpha/beta sensitivity grid against TCP-SACK",
+		Run: func(cfg RunConfig) (Report, error) {
+			var rep report
+			for _, topology := range cfg.topologies() {
+				c := Fig4Config{Topology: topology, Durations: cfg.durations(), Metrics: cfg.Metrics}
+				if cfg.Smoke {
+					c.Alphas = []float64{0.995}
+					c.Betas = []float64{3}
+					c.Flows = 8
+				}
+				res := RunFig4(c)
+				rep.tables = append(rep.tables, res.Table())
+				rep.csvs = append(rep.csvs, CSVFile{"fig4_" + topology + ".csv", res.Table()})
+			}
+			return rep.finish(cfg, "fig4", true)
+		},
+	},
+	{
+		Name:     "fig6",
+		Describe: "Fig 6 multipath comparison across protocols, epsilons, and link delays",
+		Run: func(cfg RunConfig) (Report, error) {
+			c := Fig6Config{Durations: cfg.durations(), Seed: cfg.Seed, Metrics: cfg.Metrics}
+			if cfg.Smoke {
+				c.Protocols = []string{workload.TCPPR, workload.TCPSACK}
+				c.Epsilons = []float64{1}
+				c.LinkDelays = []time.Duration{10 * time.Millisecond}
+			}
+			res := RunFig6(c)
+			var rep report
+			for i, t := range res.Table() {
+				rep.tables = append(rep.tables, t)
+				rep.csvs = append(rep.csvs, CSVFile{fmt.Sprintf("fig6_delay%d.csv", i), t})
+			}
+			return rep.finish(cfg, "fig6", true)
+		},
+	},
+	{
+		Name:     "ablation-beta",
+		Describe: "Ablation: beta under heavy loss (the paper's §4 note)",
+		Run: func(cfg RunConfig) (Report, error) {
+			c := AblationBetaConfig{Durations: cfg.durations()}
+			if cfg.Smoke {
+				c.Betas = []float64{3}
+				c.Flows = 8
+			}
+			res := RunAblationBeta(c)
+			rep := report{
+				tables: []*Table{res.Table()},
+				csvs:   []CSVFile{{"ablation_beta.csv", res.Table()}},
+			}
+			return rep.finish(cfg, "ablation-beta", false)
+		},
+	},
+	{
+		Name:     "ablation-memorize",
+		Describe: "Ablation: memorize list on vs off under burst loss",
+		Run: func(cfg RunConfig) (Report, error) {
+			res := RunAblationMemorize(cfg.durations())
+			rep := report{tables: []*Table{
+				res.Table("Ablation: memorize list (single flow, lossy dumbbell)"),
+			}}
+			return rep.finish(cfg, "ablation-memorize", false)
+		},
+	},
+	{
+		Name:     "ablation-sendcwnd",
+		Describe: "Ablation: halve from send-time cwnd vs current cwnd",
+		Run: func(cfg RunConfig) (Report, error) {
+			res := RunAblationSendCwnd(cfg.durations())
+			rep := report{tables: []*Table{
+				res.Table("Ablation: halve from send-time cwnd vs current cwnd"),
+			}}
+			return rep.finish(cfg, "ablation-sendcwnd", false)
+		},
+	},
+	{
+		Name:     "ablation-holemode",
+		Describe: "Ablation: hole-handling policy while the cumulative ACK is frozen",
+		Run: func(cfg RunConfig) (Report, error) {
+			rep := report{tables: []*Table{RunAblationHoleMode(cfg.durations())}}
+			return rep.finish(cfg, "ablation-holemode", false)
+		},
+	},
+	{
+		Name:     "ext-threshold",
+		Describe: "Extension: loss-detection threshold sweep over a recorded trace",
+		Run: func(cfg RunConfig) (Report, error) {
+			t := RunThresholdSweep(cfg.durations())
+			rep := report{tables: []*Table{t}, csvs: []CSVFile{{"ext_threshold.csv", t}}}
+			return rep.finish(cfg, "ext-threshold", false)
+		},
+	},
+	{
+		Name:     "ext-reorder",
+		Describe: "Extension: how much reordering each epsilon actually produces",
+		Run: func(cfg RunConfig) (Report, error) {
+			t := ReorderTable(RunReorderProfile(cfg.durations(), 0))
+			rep := report{tables: []*Table{t}, csvs: []CSVFile{{"ext_reorder.csv", t}}}
+			return rep.finish(cfg, "ext-reorder", false)
+		},
+	},
+	{
+		Name:     "ext-robustness",
+		Describe: "Extension: goodput under ACK loss, delayed ACKs, jitter, and RED",
+		Run: func(cfg RunConfig) (Report, error) {
+			res := RunRobustness(cfg.durations())
+			rep := report{
+				tables: []*Table{res.Table()},
+				csvs:   []CSVFile{{"ext_robustness.csv", res.Table()}},
+			}
+			return rep.finish(cfg, "ext-robustness", false)
+		},
+	},
+	{
+		Name:     "ext-door",
+		Describe: "Extension: Fig 6 protocol set plus TCP-DOOR and Eifel",
+		Run: func(cfg RunConfig) (Report, error) {
+			var res Fig6Result
+			if cfg.Smoke {
+				res = RunFig6(Fig6Config{
+					Protocols:  []string{workload.TCPDOOR, workload.Eifel},
+					Epsilons:   []float64{1},
+					LinkDelays: []time.Duration{10 * time.Millisecond},
+					Durations:  cfg.durations(),
+					Seed:       cfg.Seed,
+				})
+			} else {
+				res = RunExtComparison(cfg.durations())
+			}
+			var rep report
+			for _, t := range res.Table() {
+				t.Title = "Extension: Fig 6 protocol set + TCP-DOOR + Eifel (10 ms links)"
+				rep.tables = append(rep.tables, t)
+				rep.csvs = append(rep.csvs, CSVFile{"ext_door.csv", t})
+			}
+			return rep.finish(cfg, "ext-door", false)
+		},
+	},
+	{
+		Name:     "faultmatrix",
+		Describe: "Survival matrix: every protocol against every scripted fault scenario",
+		Run: func(cfg RunConfig) (Report, error) {
+			c := FaultMatrixConfig{Seed: cfg.Seed, Metrics: cfg.Metrics}
+			// The fault matrix measures absolute simulated time, not a
+			// warm/measure split; Quick (and Smoke) map to its shortened
+			// run the CLI's -quick always used.
+			if cfg.Smoke || cfg.Durations == Quick {
+				c.Total = 20 * time.Second
+				c.FaultAt = 3 * time.Second
+			}
+			res, err := RunFaultMatrix(c)
+			if err != nil {
+				return nil, err
+			}
+			rep := report{
+				tables: []*Table{res.Table()},
+				csvs:   []CSVFile{{"faultmatrix.csv", res.Table()}},
+			}
+			return rep.finish(cfg, "faultmatrix", true)
+		},
+	},
+}

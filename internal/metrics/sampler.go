@@ -33,7 +33,8 @@ type Sampler struct {
 	series  []*Series
 	sources []func() float64
 
-	ev      *sim.Event
+	timer   *sim.Timer
+	started bool
 	ticks   uint64
 	stopped bool
 }
@@ -50,7 +51,9 @@ func NewSampler(sched *sim.Scheduler, interval time.Duration, seriesCap int) *Sa
 	if seriesCap <= 0 {
 		seriesCap = DefaultSeriesCap
 	}
-	return &Sampler{sched: sched, interval: interval, cap: seriesCap}
+	sp := &Sampler{sched: sched, interval: interval, cap: seriesCap}
+	sp.timer = sim.NewTimer(sched, sp.tick)
+	return sp
 }
 
 // Interval returns the sampling cadence.
@@ -86,19 +89,18 @@ func (sp *Sampler) WatchGauge(name string, g *Gauge) *Series {
 // Start schedules the first sampling tick at virtual time at (which must
 // not be in the past) and every interval thereafter until Stop.
 func (sp *Sampler) Start(at sim.Time) {
-	if sp.ev != nil {
+	if sp.started {
 		panic("metrics: sampler already started")
 	}
+	sp.started = true
 	sp.stopped = false
-	sp.ev = sp.sched.At(at, sp.tick)
+	sp.timer.Reset(at)
 }
 
 // Stop cancels future ticks. Retained series data stays readable.
 func (sp *Sampler) Stop() {
 	sp.stopped = true
-	if sp.ev != nil {
-		sp.ev.Cancel()
-	}
+	sp.timer.Stop()
 }
 
 func (sp *Sampler) tick() {
@@ -110,7 +112,7 @@ func (sp *Sampler) tick() {
 		s.Append(now, sp.sources[i]())
 	}
 	sp.ticks++
-	sp.ev = sp.sched.After(sp.interval, sp.tick)
+	sp.timer.ResetAfter(sp.interval)
 }
 
 // Series returns the watched series in registration order.

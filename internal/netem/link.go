@@ -80,10 +80,15 @@ type Link struct {
 	QueueCap int
 
 	sched     *sim.Scheduler
+	net       *Network
 	queueLen  int
 	busyUntil sim.Time
 	stats     LinkStats
 	down      bool
+
+	// deliverFn is the prebound deliverEvent method value, created once at
+	// link construction so the per-packet delivery event captures nothing.
+	deliverFn func(any)
 
 	loss       LossModel
 	jitter     time.Duration
@@ -275,38 +280,56 @@ func (l *Link) Enqueue(p *Packet) bool {
 	finish := start + l.TxTime(p.Size)
 	l.busyUntil = finish
 
+	if l.deliverFn == nil { // hand-built link (tests); AddLink pre-binds
+		l.deliverFn = l.deliverEvent
+	}
 	// The queue slot frees when serialization completes; the packet
-	// arrives one propagation delay (plus any jitter draw) later.
-	l.sched.At(finish, func() {
-		l.queueLen--
-		l.stats.Dequeued++
-	})
+	// arrives one propagation delay (plus any jitter draw) later. Both
+	// events go through closure-free AtFunc trampolines so steady-state
+	// forwarding schedules without allocating.
+	l.sched.AtFunc(finish, linkDequeued, l)
 	delay := l.Delay
 	if l.jitter > 0 {
 		delay += time.Duration(l.jitterRNG.Int63n(int64(l.jitter) + 1))
 	}
 	// Impairment draws happen at enqueue time, in arrival order, so the
 	// RNG streams are consumed deterministically regardless of how the
-	// delivery events interleave with other links' traffic.
-	corrupt := l.corruptP > 0 && l.corruptRNG.Float64() < l.corruptP
-	l.sched.At(finish+delay, func() { l.deliver(p, corrupt) })
+	// delivery events interleave with other links' traffic. The corruption
+	// verdict rides on the packet itself.
+	p.corrupt = l.corruptP > 0 && l.corruptRNG.Float64() < l.corruptP
+	l.sched.AtFunc(finish+delay, l.deliverFn, p)
 	if l.dupP > 0 && l.dupRNG.Float64() < l.dupP {
 		l.stats.Duplicated++
-		dup := *p
-		l.sched.At(finish+delay, func() { l.deliver(&dup, false) })
+		dup := l.newPacket()
+		*dup = *p
+		dup.corrupt = false
+		l.sched.AtFunc(finish+delay, l.deliverFn, dup)
 	}
 	return true
 }
 
+// linkDequeued is the shared trampoline for serialization-complete events:
+// the queue slot frees, nothing else happens.
+func linkDequeued(arg any) {
+	l := arg.(*Link)
+	l.queueLen--
+	l.stats.Dequeued++
+}
+
+// deliverEvent adapts deliver to the scheduler's closure-free callback
+// shape; it is prebound once per link as deliverFn.
+func (l *Link) deliverEvent(arg any) { l.deliver(arg.(*Packet)) }
+
 // deliver completes one packet's traversal: corrupted packets die at the
-// far end (counted, OnDrop-notified); clean packets are handed to the
-// downstream node.
-func (l *Link) deliver(p *Packet, corrupt bool) {
-	if corrupt {
+// far end (counted, OnDrop-notified, recycled); clean packets are handed
+// to the downstream node.
+func (l *Link) deliver(p *Packet) {
+	if p.corrupt {
 		l.stats.Corrupted++
 		if l.OnDrop != nil {
 			l.OnDrop(p)
 		}
+		l.recycle(p)
 		return
 	}
 	l.stats.Delivered++
@@ -316,6 +339,22 @@ func (l *Link) deliver(p *Packet, corrupt bool) {
 	}
 	p.advance()
 	l.To.receive(p)
+}
+
+// newPacket draws a packet from the owning network's pool; hand-built
+// links fall back to plain allocation.
+func (l *Link) newPacket() *Packet {
+	if l.net != nil {
+		return l.net.NewPacket()
+	}
+	return &Packet{}
+}
+
+// recycle returns a dead packet to the owning network's pool, if any.
+func (l *Link) recycle(p *Packet) {
+	if l.net != nil {
+		l.net.release(p)
+	}
 }
 
 func (l *Link) String() string {

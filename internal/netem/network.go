@@ -9,11 +9,20 @@ import (
 
 // Network owns the nodes and links of one simulated topology and issues
 // packet IDs. All elements share a single sim.Scheduler.
+//
+// The Network also owns the packet free list. Packets obtained from
+// NewPacket are recycled automatically when they leave the network —
+// dropped at enqueue, discarded as corrupt, or consumed by (or past) the
+// destination's local handler. The pool is an ownership contract, not just
+// an optimization: once a packet is handed to Send, the network owns it,
+// and delivery hooks and handlers must not retain the pointer beyond their
+// synchronous call.
 type Network struct {
 	sched  *sim.Scheduler
 	nodes  map[string]*Node
 	links  []*Link
 	nextID uint64
+	free   []*Packet
 }
 
 // NewNetwork creates an empty topology bound to the given scheduler.
@@ -29,10 +38,35 @@ func (n *Network) Node(name string) *Node {
 	if nd, ok := n.nodes[name]; ok {
 		return nd
 	}
-	nd := &Node{Name: name}
+	nd := &Node{Name: name, net: n}
 	n.nodes[name] = nd
 	return nd
 }
+
+// NewPacket returns a zeroed packet, reusing a recycled one when the free
+// list is non-empty. In steady state every transport send reuses the slot
+// freed by an earlier delivery, so forwarding allocates no packets.
+func (n *Network) NewPacket() *Packet {
+	if k := len(n.free); k > 0 {
+		p := n.free[k-1]
+		n.free = n.free[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// release returns a packet to the free list. The struct is zeroed so a
+// stale pointer held in error reads as an empty packet rather than as the
+// slot's next occupant's old identity. Packets built by hand (tests) join
+// the pool too — the pool doesn't care where a packet was born.
+func (n *Network) release(p *Packet) {
+	*p = Packet{}
+	n.free = append(n.free, p)
+}
+
+// PacketFreeListLen returns the number of recycled packets currently
+// available for reuse; tests use it to prove the pool cycles.
+func (n *Network) PacketFreeListLen() int { return len(n.free) }
 
 // Nodes returns the number of nodes created so far.
 func (n *Network) Nodes() int { return len(n.nodes) }
@@ -56,7 +90,9 @@ func (n *Network) AddLink(from, to string, bandwidth int64, delay time.Duration,
 		Delay:     delay,
 		QueueCap:  queueCap,
 		sched:     n.sched,
+		net:       n,
 	}
+	l.deliverFn = l.deliverEvent
 	n.links = append(n.links, l)
 	return l
 }
@@ -93,7 +129,11 @@ func (n *Network) Send(p *Packet) bool {
 	p.ID = n.nextID
 	n.nextID++
 	p.SentAt = n.sched.Now()
-	return p.Path[0].Enqueue(p)
+	if !p.Path[0].Enqueue(p) {
+		n.release(p)
+		return false
+	}
+	return true
 }
 
 // TotalDrops sums queue drops across every link.

@@ -9,6 +9,7 @@ type Node struct {
 	// Name identifies the node in traces and topology builders.
 	Name string
 
+	net      *Network
 	handlers map[int]func(*Packet)
 	// Forwarded counts packets this node pushed to a next hop.
 	Forwarded uint64
@@ -32,6 +33,11 @@ func (n *Node) Handle(flow int, fn func(*Packet)) {
 // route has hops left, otherwise deliver locally. Packets for flows with no
 // handler are silently discarded (they model traffic sinks that no one
 // observes, e.g. after a flow has been torn down).
+//
+// receive is where a packet's life ends: forward-drops, local deliveries,
+// and unhandled flows all recycle the packet into the network's pool once
+// the handler (if any) has returned. Handlers get the packet for the
+// duration of the call only.
 func (n *Node) receive(p *Packet) {
 	if next := p.NextLink(); next != nil {
 		if next.From != n {
@@ -39,12 +45,24 @@ func (n *Node) receive(p *Packet) {
 				p.ID, n.Name, next.From.Name))
 		}
 		n.Forwarded++
-		next.Enqueue(p)
+		if !next.Enqueue(p) {
+			n.recycle(p)
+		}
 		return
 	}
 	if fn, ok := n.handlers[p.Flow]; ok {
 		n.DeliveredLocal++
 		fn(p)
+	}
+	n.recycle(p)
+}
+
+// recycle returns a finished packet to the owning network's pool. Nodes
+// built by hand in tests have no network; their packets just stay with the
+// garbage collector.
+func (n *Node) recycle(p *Packet) {
+	if n.net != nil {
+		n.net.release(p)
 	}
 }
 

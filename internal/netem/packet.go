@@ -36,6 +36,11 @@ type Packet struct {
 	SentAt sim.Time
 	// Hops counts links traversed so far, for path-length statistics.
 	Hops int
+	// corrupt marks a packet whose checksum the current link broke; it is
+	// drawn at enqueue time (so RNG streams stay in arrival order) and
+	// consumed at delivery, where the packet is discarded instead of
+	// handed on.
+	corrupt bool
 }
 
 // NextLink returns the next link on the packet's source route, or nil if

@@ -1,0 +1,54 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := (&Flags{}).Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := &Flags{
+		CPU: filepath.Join(dir, "cpu.pprof"),
+		Mem: filepath.Join(dir, "mem.pprof"),
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU so the profile has at least a header worth of data.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{f.CPU, f.Mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	f := &Flags{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}
+	if _, err := f.Start(); err == nil {
+		t.Fatal("Start with unwritable CPU path succeeded")
+	}
+}

@@ -50,6 +50,7 @@ func (s Static) Route() []*netem.Link { return s.Path }
 // indistinguishable from 1 (single-path routing).
 type Epsilon struct {
 	paths   [][]*netem.Link
+	probs   []float64 // per-path, normalized
 	weights []float64 // cumulative, normalized to [0,1]
 	rng     *rand.Rand
 	eps     float64
@@ -69,15 +70,22 @@ func NewEpsilon(paths [][]*netem.Link, eps float64, rng *rand.Rand) *Epsilon {
 		panic(fmt.Sprintf("routing: negative epsilon %v", eps))
 	}
 	e := &Epsilon{paths: paths, rng: rng, eps: eps}
-	e.weights = cumulativeWeights(paths, eps)
+	e.probs = pathProbabilities(paths, eps)
+	e.weights = make([]float64, len(e.probs))
+	acc := 0.0
+	for i, p := range e.probs {
+		acc += p
+		e.weights[i] = acc
+	}
+	e.weights[len(e.weights)-1] = 1 // guard against rounding
 	return e
 }
 
-// cumulativeWeights computes the Gibbs distribution over paths. Delays are
+// pathProbabilities computes the Gibbs distribution over paths. Delays are
 // shifted by the minimum before exponentiation so large ε does not
 // underflow every weight to zero, and scaled by the minimum so ε measures
 // relative extra delay.
-func cumulativeWeights(paths [][]*netem.Link, eps float64) []float64 {
+func pathProbabilities(paths [][]*netem.Link, eps float64) []float64 {
 	minDelay := math.Inf(1)
 	delays := make([]float64, len(paths))
 	for i, p := range paths {
@@ -90,20 +98,16 @@ func cumulativeWeights(paths [][]*netem.Link, eps float64) []float64 {
 	if scale <= 0 {
 		scale = 1 // degenerate zero-delay topology: fall back to absolute seconds
 	}
-	raw := make([]float64, len(paths))
+	probs := make([]float64, len(paths))
 	var sum float64
 	for i, d := range delays {
-		raw[i] = math.Exp(-eps * (d - minDelay) / scale)
-		sum += raw[i]
+		probs[i] = math.Exp(-eps * (d - minDelay) / scale)
+		sum += probs[i]
 	}
-	cum := make([]float64, len(paths))
-	acc := 0.0
-	for i, w := range raw {
-		acc += w / sum
-		cum[i] = acc
+	for i := range probs {
+		probs[i] /= sum
 	}
-	cum[len(cum)-1] = 1 // guard against rounding
-	return cum
+	return probs
 }
 
 // Route implements Router: an independent draw per packet.
@@ -117,15 +121,12 @@ func (e *Epsilon) Route() []*netem.Link {
 }
 
 // Probabilities returns the per-path selection probabilities, for tests and
-// experiment logs.
+// experiment logs. The values come straight from the normalized Gibbs
+// weights — differencing the cumulative array instead would re-introduce
+// rounding noise that breaks the distribution's delay monotonicity in the
+// equal-weight (ε = 0) corner.
 func (e *Epsilon) Probabilities() []float64 {
-	p := make([]float64, len(e.weights))
-	prev := 0.0
-	for i, c := range e.weights {
-		p[i] = c - prev
-		prev = c
-	}
-	return p
+	return append([]float64(nil), e.probs...)
 }
 
 // Flap alternates deterministically among paths with a fixed dwell period,

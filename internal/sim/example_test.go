@@ -23,8 +23,8 @@ func Example() {
 	// second event at 250ms
 }
 
-// ExampleEvent_Cancel shows timer cancellation.
-func ExampleEvent_Cancel() {
+// ExampleHandle_Cancel shows timer cancellation.
+func ExampleHandle_Cancel() {
 	s := sim.NewScheduler()
 	e := s.At(time.Second, func() { fmt.Println("never printed") })
 	e.Cancel()

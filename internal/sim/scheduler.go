@@ -5,6 +5,17 @@
 // Scheduler and read virtual time from it. Determinism is guaranteed by a
 // single-threaded run loop and a strict (time, insertion-sequence) event
 // ordering, so two runs with the same seeds produce identical traces.
+//
+// The engine is also the simulator's hottest allocation site: a long run
+// schedules tens of millions of events, and a fresh Event per callback
+// would make the garbage collector the bottleneck (the same observation
+// that drove ns-2 to a tuned C++ event core). Fired and cancelled events
+// therefore return to a per-scheduler free list and are reused; the public
+// API hands out generation-checked Handle values instead of raw event
+// pointers, so a stale reference to a recycled event can never cancel its
+// new occupant. The AtFunc/AfterFunc variants additionally avoid the
+// per-call closure by taking a long-lived callback plus an argument, which
+// makes steady-state scheduling fully allocation-free.
 package sim
 
 import (
@@ -18,32 +29,59 @@ import (
 // nanosecond-exact (no floating-point clock drift).
 type Time = time.Duration
 
-// Event is a scheduled callback. Events are created through Scheduler.At or
-// Scheduler.After and may be cancelled before they fire.
+// Event is one pooled entry of the pending-event queue. Events are
+// recycled after they fire or are discarded, so user code never holds an
+// *Event directly — Scheduler.At and friends return a Handle instead.
 type Event struct {
 	at       Time
 	seq      uint64
+	gen      uint64
 	fn       func()
+	fnArg    func(any)
+	arg      any
 	canceled bool
 	index    int // position in the heap, -1 once popped
 }
 
-// At returns the virtual time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Handle identifies one scheduled occurrence of an event. The zero Handle
+// is valid and refers to nothing: Cancel and Pending on it report false.
+// A Handle outliving its event is harmless — once the event has fired (or
+// its cancelled slot has been recycled) the generation check makes every
+// method a no-op, so callers may keep handles around without clearing
+// them.
+type Handle struct {
+	e   *Event
+	gen uint64
+}
+
+// live reports whether the handle still refers to the scheduled occurrence
+// it was created for.
+func (h Handle) live() bool { return h.e != nil && h.e.gen == h.gen }
+
+// At returns the virtual time the event is scheduled to fire, or zero for
+// a handle that no longer refers to a pending event.
+func (h Handle) At() Time {
+	if !h.live() {
+		return 0
+	}
+	return h.e.at
+}
 
 // Cancel prevents the event from firing. Cancelling an event that already
-// fired (or was already cancelled) is a no-op. It reports whether the event
-// was still pending.
-func (e *Event) Cancel() bool {
-	if e.canceled || e.index == -1 {
+// fired (or was already cancelled) is a no-op. It reports whether the
+// event was still pending.
+func (h Handle) Cancel() bool {
+	if !h.live() || h.e.canceled || h.e.index == -1 {
 		return false
 	}
-	e.canceled = true
+	h.e.canceled = true
 	return true
 }
 
 // Pending reports whether the event is still scheduled to fire.
-func (e *Event) Pending() bool { return !e.canceled && e.index != -1 }
+func (h Handle) Pending() bool {
+	return h.live() && !h.e.canceled && h.e.index != -1
+}
 
 // Scheduler owns the virtual clock and the pending-event queue.
 // The zero value is not usable; create one with NewScheduler.
@@ -51,6 +89,7 @@ type Scheduler struct {
 	now       Time
 	seq       uint64
 	events    eventHeap
+	free      []*Event
 	processed uint64
 }
 
@@ -79,25 +118,77 @@ func (s *Scheduler) Len() int {
 // run-length accounting in benchmarks and runaway-simulation guards.
 func (s *Scheduler) Processed() uint64 { return s.processed }
 
-// At schedules fn to run at virtual time t. Scheduling in the past
-// (t < Now) panics: it is always a logic error in a discrete-event model
-// and silently reordering the past would destroy determinism.
-func (s *Scheduler) At(t Time, fn func()) *Event {
+// FreeListLen returns the current size of the event free list (recycled
+// events awaiting reuse). It exists for pool tests and capacity planning.
+func (s *Scheduler) FreeListLen() int { return len(s.free) }
+
+// schedule takes an event off the free list (or allocates one), fills it,
+// and pushes it onto the heap. Bumping the generation at allocation time
+// invalidates every handle to the event's previous occupancy.
+func (s *Scheduler) schedule(t Time, fn func(), fnArg func(any), arg any) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.gen++
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
+	e.fnArg = fnArg
+	e.arg = arg
+	e.canceled = false
 	s.seq++
 	heap.Push(&s.events, e)
-	return e
+	return Handle{e: e, gen: e.gen}
+}
+
+// release returns a popped event to the free list, dropping callback and
+// argument references so the pool does not pin dead objects.
+func (s *Scheduler) release(e *Event) {
+	e.fn = nil
+	e.fnArg = nil
+	e.arg = nil
+	s.free = append(s.free, e)
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past
+// (t < Now) panics: it is always a logic error in a discrete-event model
+// and silently reordering the past would destroy determinism.
+func (s *Scheduler) At(t Time, fn func()) Handle {
+	return s.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+func (s *Scheduler) After(d time.Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
+}
+
+// AtFunc schedules fn(arg) to run at virtual time t. Unlike At, which
+// usually forces the caller to allocate a fresh closure per call, AtFunc
+// takes a long-lived callback (typically created once per object) plus the
+// state it needs, so hot paths — link delivery, per-segment loss timers —
+// schedule without allocating. Passing a pointer as arg does not allocate;
+// passing a non-pointer value boxes it.
+func (s *Scheduler) AtFunc(t Time, fn func(any), arg any) Handle {
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterFunc schedules fn(arg) to run d after the current virtual time.
+func (s *Scheduler) AfterFunc(d time.Duration, fn func(any), arg any) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtFunc(s.now+d, fn, arg)
 }
 
 // Step executes the next pending event, advancing the clock to its
@@ -107,11 +198,22 @@ func (s *Scheduler) Step() bool {
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(*Event)
 		if e.canceled {
+			s.release(e)
 			continue
 		}
 		s.now = e.at
 		s.processed++
-		e.fn()
+		fn, fnArg, arg := e.fn, e.fnArg, e.arg
+		// Recycle before running the callback: the event is logically
+		// finished, and the callback's own scheduling can then reuse the
+		// slot immediately — the common self-rearming pattern becomes a
+		// single-event round trip.
+		s.release(e)
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -171,6 +273,7 @@ func (s *Scheduler) peek() *Event {
 	for len(s.events) > 0 {
 		if e := s.events[0]; e.canceled {
 			heap.Pop(&s.events)
+			s.release(e)
 			continue
 		}
 		return s.events[0]

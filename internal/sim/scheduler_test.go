@@ -81,7 +81,7 @@ func TestSchedulerCancel(t *testing.T) {
 func TestSchedulerCancelFromEvent(t *testing.T) {
 	s := NewScheduler()
 	ran := false
-	var victim *Event
+	var victim Handle
 	s.At(time.Second, func() { victim.Cancel() })
 	victim = s.At(2*time.Second, func() { ran = true })
 	s.Run()

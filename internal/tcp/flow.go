@@ -88,7 +88,7 @@ type Flow struct {
 
 	delackPending bool
 	delackAck     Ack
-	delackTimer   *sim.Event
+	delackTimer   *sim.Timer
 
 	dataSent, dataRetx, acksSent uint64
 }
@@ -114,6 +114,12 @@ func NewFlow(net *netem.Network, id int, src, dst *netem.Node, fwd, rev routing.
 		rev:     rev,
 		recv:    &Receiver{},
 	}
+	f.delackTimer = sim.NewTimer(net.Scheduler(), func() {
+		if f.delackPending {
+			f.delackPending = false
+			f.emitAck(f.delackAck)
+		}
+	})
 	dst.Handle(id, f.onDataArrival)
 	src.Handle(id, f.onAckArrival)
 	return f
@@ -170,13 +176,12 @@ func (f *Flow) transmit(seg Seg) bool {
 	if f.Hooks.OnDataSent != nil {
 		f.Hooks.OnDataSent(seg, f.net.Scheduler().Now())
 	}
-	path := f.fwd.Route()
-	return f.net.Send(&netem.Packet{
-		Flow:    f.ID,
-		Size:    f.PktSize,
-		Path:    path,
-		Payload: seg,
-	})
+	p := f.net.NewPacket()
+	p.Flow = f.ID
+	p.Size = f.PktSize
+	p.Path = f.fwd.Route()
+	p.Payload = seg
+	return f.net.Send(p)
 }
 
 // onDataArrival handles a data segment reaching the destination node.
@@ -200,17 +205,12 @@ func (f *Flow) onDataArrival(p *netem.Packet) {
 		if inOrder && !f.delackPending {
 			f.delackPending = true
 			f.delackAck = ack
-			f.delackTimer = f.net.Scheduler().After(DelAckTimeout, func() {
-				if f.delackPending {
-					f.delackPending = false
-					f.emitAck(f.delackAck)
-				}
-			})
+			f.delackTimer.ResetAfter(DelAckTimeout)
 			return
 		}
 		if f.delackPending {
 			f.delackPending = false
-			f.delackTimer.Cancel()
+			f.delackTimer.Stop()
 		}
 	}
 	f.emitAck(ack)
@@ -223,12 +223,12 @@ func (f *Flow) emitAck(ack Ack) {
 	if f.Hooks.OnAckSent != nil {
 		f.Hooks.OnAckSent(ack, now)
 	}
-	f.net.Send(&netem.Packet{
-		Flow:    f.ID,
-		Size:    f.AckSize,
-		Path:    f.rev.Route(),
-		Payload: ack,
-	})
+	p := f.net.NewPacket()
+	p.Flow = f.ID
+	p.Size = f.AckSize
+	p.Path = f.rev.Route()
+	p.Payload = ack
+	f.net.Send(p)
 }
 
 // onAckArrival handles an ACK reaching the source node.

@@ -123,7 +123,7 @@ type Sender struct {
 
 	rto      *tcp.RTOEstimator
 	times    tcp.SendTimes
-	rtxTimer *sim.Event
+	rtxTimer *sim.Timer
 	txSeq    int64
 
 	// Counters for tests and traces.
@@ -134,13 +134,15 @@ type Sender struct {
 // New creates a Reno-family sender bound to a flow environment.
 func New(env tcp.SenderEnv, cfg Config) *Sender {
 	cfg.fill()
-	return &Sender{
+	s := &Sender{
 		env:      env,
 		cfg:      cfg,
 		cwnd:     cfg.InitialCwnd,
 		ssthresh: cfg.InitialSsthresh,
 		rto:      tcp.NewRTOEstimator(cfg.MinRTO, cfg.MaxRTO, cfg.InitialRTO),
 	}
+	s.rtxTimer = sim.NewTimer(env.Sched, s.onTimeout)
+	return s
 }
 
 var _ tcp.Sender = (*Sender)(nil)
@@ -329,7 +331,7 @@ func (s *Sender) send(seq int64, retx bool) {
 	s.times.Sent(seq, now, retx)
 	s.txSeq++
 	s.env.Transmit(tcp.Seg{Seq: seq, Retx: retx, TxSeq: s.txSeq, Stamp: now})
-	if s.rtxTimer == nil || !s.rtxTimer.Pending() {
+	if !s.rtxTimer.Pending() {
 		s.armTimer()
 	}
 }
@@ -337,16 +339,14 @@ func (s *Sender) send(seq int64, retx bool) {
 func (s *Sender) retransmit(seq int64) { s.send(seq, true) }
 
 func (s *Sender) armTimer() {
-	s.rtxTimer = s.env.Sched.After(s.rto.RTO(), s.onTimeout)
+	s.rtxTimer.ResetAfter(s.rto.RTO())
 }
 
 // restartTimer re-arms the retransmission timer if data is outstanding and
 // cancels it otherwise (RFC 6298 §5.2–5.3), including when a finite
 // transfer completes.
 func (s *Sender) restartTimer() {
-	if s.rtxTimer != nil {
-		s.rtxTimer.Cancel()
-	}
+	s.rtxTimer.Stop()
 	if s.nextSeq > s.una && !s.Done() {
 		s.armTimer()
 	}

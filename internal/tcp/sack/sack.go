@@ -109,7 +109,7 @@ type Sender struct {
 
 	rto      *tcp.RTOEstimator
 	times    tcp.SendTimes
-	rtxTimer *sim.Event
+	rtxTimer *sim.Timer
 	txSeq    int64
 
 	ep episode
@@ -123,7 +123,7 @@ type Sender struct {
 // New creates a SACK sender bound to a flow environment.
 func New(env tcp.SenderEnv, cfg Config) *Sender {
 	cfg.fill()
-	return &Sender{
+	s := &Sender{
 		env:       env,
 		cfg:       cfg,
 		cwnd:      cfg.InitialCwnd,
@@ -131,6 +131,8 @@ func New(env tcp.SenderEnv, cfg Config) *Sender {
 		dupThresh: cfg.DupThresh,
 		rto:       tcp.NewRTOEstimator(cfg.MinRTO, cfg.MaxRTO, cfg.InitialRTO),
 	}
+	s.rtxTimer = sim.NewTimer(env.Sched, s.onTimeout)
+	return s
 }
 
 var _ tcp.Sender = (*Sender)(nil)
@@ -391,7 +393,7 @@ func (s *Sender) send(seq int64, retx bool) {
 		}
 	}
 	s.env.Transmit(tcp.Seg{Seq: seq, Retx: retx, TxSeq: s.txSeq, Stamp: now})
-	if s.rtxTimer == nil || !s.rtxTimer.Pending() {
+	if !s.rtxTimer.Pending() {
 		s.armTimer()
 	}
 }
@@ -434,13 +436,11 @@ func (s *Sender) onDSACK(b tcp.SackBlock) {
 }
 
 func (s *Sender) armTimer() {
-	s.rtxTimer = s.env.Sched.After(s.rto.RTO(), s.onTimeout)
+	s.rtxTimer.ResetAfter(s.rto.RTO())
 }
 
 func (s *Sender) restartTimer() {
-	if s.rtxTimer != nil {
-		s.rtxTimer.Cancel()
-	}
+	s.rtxTimer.Stop()
 	if s.nextSeq > s.una && !s.Done() {
 		s.armTimer()
 	}

@@ -23,7 +23,7 @@ type Trigger struct {
 	sched *sim.Scheduler
 
 	firstDup sim.Time
-	timer    *sim.Event
+	timer    sim.Handle
 }
 
 // NewTrigger returns a TD-FR trigger bound to the simulation scheduler.
@@ -54,11 +54,9 @@ func (t *Trigger) OnDupAck(count int, srtt time.Duration, fire func()) {
 
 // arm (re)schedules the trigger; a deadline in the past fires immediately.
 func (t *Trigger) arm(deadline sim.Time, fire func()) {
-	if t.timer != nil {
-		t.timer.Cancel()
-	}
+	t.timer.Cancel()
 	if deadline <= t.sched.Now() {
-		t.timer = nil
+		t.timer = sim.Handle{}
 		fire()
 		return
 	}
@@ -68,10 +66,7 @@ func (t *Trigger) arm(deadline sim.Time, fire func()) {
 // OnAdvance implements reno.Trigger: a cumulative advance means the
 // duplicates were reordering, not loss — cancel the pending retransmit.
 func (t *Trigger) OnAdvance() {
-	if t.timer != nil {
-		t.timer.Cancel()
-		t.timer = nil
-	}
+	t.timer.Cancel()
 }
 
 // New builds the complete TD-FR sender: NewReno with the TD-FR trigger
