@@ -3,7 +3,8 @@
 // Usage:
 //
 //	experiments [-run name] [-fig n] [-list] [-quick] [-csv dir]
-//	            [-metrics dir] [-parallel n] [-seed n]
+//	            [-metrics dir] [-parallel n] [-seed n] [-check]
+//	            [-fuzz n] [-fuzz-seed n]
 //	            [-cpuprofile file] [-memprofile file]
 //
 // Every experiment is a registered experiments.Spec; -list prints the
@@ -19,6 +20,13 @@
 // plus a run-level aggregate. -parallel caps the number of concurrent
 // simulation cells (default: one per CPU); use -parallel 1 together with
 // -cpuprofile for cleanly attributable profiles.
+//
+// -check attaches the internal/invariant conformance oracle to every
+// simulation cell; any violation fails the run with a nonzero exit.
+// -fuzz N runs N randomized invariant-checked scenarios (topology ×
+// protocol mix × fault timeline) instead of the figure experiments, and
+// -fuzz-seed S replays exactly one such scenario by seed — the seed a
+// failed fuzz run prints.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"tcppr/internal/experiments"
+	"tcppr/internal/invariant/fuzzer"
 	"tcppr/internal/profiling"
 )
 
@@ -41,6 +50,9 @@ func main() {
 	metricsDir := flag.String("metrics", "", "directory to write per-cell time series + run manifests into")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation cells (0 = one per CPU)")
 	seed := flag.Int64("seed", 0, "base seed override for seeded experiments (0 = default)")
+	check := flag.Bool("check", false, "attach the invariant oracle to every cell; violations fail the run")
+	fuzz := flag.Int("fuzz", 0, "run N randomized invariant-checked scenarios instead of experiments")
+	fuzzSeed := flag.Int64("fuzz-seed", 0, "replay one fuzz scenario by seed and report its violations")
 	prof := profiling.Register()
 	flag.Parse()
 
@@ -51,12 +63,21 @@ func main() {
 		return
 	}
 
+	if *fuzzSeed != 0 {
+		replayFuzz(*fuzzSeed)
+		return
+	}
+	if *fuzz > 0 {
+		runFuzz(*fuzz, *seed)
+		return
+	}
+
 	if *fig != 0 {
 		*runName = fmt.Sprintf("fig%d", *fig)
 	}
 	experiments.SetParallelism(*parallel)
 
-	cfg := experiments.RunConfig{Seed: *seed}
+	cfg := experiments.RunConfig{Seed: *seed, CheckInvariants: *check}
 	if *quick {
 		cfg.Durations = experiments.Quick
 	}
@@ -104,6 +125,39 @@ func main() {
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
+}
+
+// runFuzz runs a fuzzing campaign of n randomized scenarios. Any
+// violation prints with the scenario's replay seed and exits nonzero.
+func runFuzz(n int, seed int64) {
+	cfg := fuzzer.Config{
+		Runs: n,
+		Seed: seed,
+		Log:  func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	}
+	res := fuzzer.Run(cfg)
+	if err := res.Err(); err != nil {
+		for _, f := range res.Failures {
+			fmt.Fprintln(os.Stderr, f.String())
+		}
+		fatal(err)
+	}
+	fmt.Printf("fuzz: %d scenarios, 0 violations\n", res.Runs)
+}
+
+// replayFuzz re-runs the single scenario identified by seed and reports
+// every violation the oracle records.
+func replayFuzz(seed int64) {
+	desc, c := fuzzer.RunOne(seed, fuzzer.Config{})
+	fmt.Printf("seed %d: %s\n", seed, desc)
+	if c.Total() == 0 {
+		fmt.Println("no violations")
+		return
+	}
+	for _, v := range c.Violations() {
+		fmt.Fprintln(os.Stderr, "  "+v.String())
+	}
+	fatal(fmt.Errorf("%d violation(s)", c.Total()))
 }
 
 func printTable(t *experiments.Table, start time.Time) {

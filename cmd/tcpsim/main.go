@@ -6,6 +6,9 @@
 //
 // Topologies: dumbbell (n flows share one bottleneck), parkinglot (Fig 1
 // with cross traffic), multipath (Fig 5, one flow per protocol, ε-routed).
+//
+// -check attaches the internal/invariant conformance oracle to the run;
+// any violation is printed and the process exits nonzero.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"time"
 
 	"tcppr/internal/faults"
+	"tcppr/internal/invariant"
 	"tcppr/internal/metrics"
 	"tcppr/internal/netem"
 	"tcppr/internal/profiling"
@@ -42,6 +46,7 @@ func main() {
 	metricsDir := flag.String("metrics", "", "directory to write time series + a run manifest into")
 	faultName := flag.String("faults", "", "canned fault scenario to inject at the bottleneck ('list' to enumerate)")
 	faultAt := flag.Duration("fault-at", 5*time.Second, "when the fault scenario's disruption begins")
+	check := flag.Bool("check", false, "attach the invariant oracle; violations fail the run")
 	prof := profiling.Register()
 	flag.Parse()
 
@@ -70,13 +75,13 @@ func main() {
 
 	switch *topology {
 	case "dumbbell", "parkinglot":
-		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, *faultName, *faultAt, *seed)
+		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, *faultName, *faultAt, *seed, *check)
 	case "multipath":
 		if *faultName != "" {
 			fmt.Fprintln(os.Stderr, "tcpsim: -faults targets a bottleneck and supports dumbbell|parkinglot only")
 			os.Exit(1)
 		}
-		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir)
+		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir, *check)
 	default:
 		fmt.Fprintf(os.Stderr, "tcpsim: unknown topology %q\n", *topology)
 		os.Exit(1)
@@ -87,7 +92,7 @@ func main() {
 	}
 }
 
-func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir, faultName string, faultAt time.Duration, seed int64) {
+func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir, faultName string, faultAt time.Duration, seed int64, check bool) {
 	sched := sim.NewScheduler()
 	var flowsOut []*workload.Flow
 	var bottlenecks []*netem.Link
@@ -128,6 +133,7 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 	}
 	ob := newObserver(metricsDir, name, sched)
 	ob.observe(flowsOut, bottlenecks)
+	ck := newChecker(check, sched, network, flowsOut, ob)
 
 	// Scripted faults hit the first bottleneck hop (both directions).
 	var tl *faults.Timeline
@@ -157,9 +163,10 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		}
 	}
 	ob.finish(topology, seed, map[string]float64{"flows": float64(n)}, warm+dur)
+	finishChecker(ck)
 }
 
-func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string) {
+func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string, check bool) {
 	// One flow at a time per protocol, matching the paper's Fig 6 setup.
 	fmt.Printf("multipath: eps=%g delay=%v (one flow per protocol, separate runs)\n\n", eps, delay)
 	for _, proto := range protos {
@@ -171,12 +178,48 @@ func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time
 		wf := workload.NewFlow(f, proto, pr, 0)
 		ob := newObserver(metricsDir, "tcpsim_multipath_"+proto, sched)
 		ob.observe([]*workload.Flow{wf}, m.Net.Links())
+		ck := newChecker(check, sched, m.Net, []*workload.Flow{wf}, ob)
 		wf.MarkWindow(sched, warm, warm+dur)
 		sched.RunUntil(warm + dur)
 		mbps := stats.Mbps(stats.Throughput(wf.WindowBytes(), dur))
 		fmt.Printf("%-10s %7.2f Mbps (retx %d of %d sent)\n", proto, mbps, f.DataRetx(), f.DataSent())
 		ob.finish("multipath", seed, map[string]float64{"eps": eps, "delay_ms": float64(delay.Milliseconds())}, warm+dur)
+		finishChecker(ck)
 	}
+}
+
+// newChecker attaches the conformance oracle to the run when -check is
+// set; returns nil otherwise.
+func newChecker(check bool, sched *sim.Scheduler, net *netem.Network, flows []*workload.Flow, ob *observer) *invariant.Checker {
+	if !check {
+		return nil
+	}
+	c := invariant.New(sched)
+	c.AttachNetwork(net)
+	for _, f := range flows {
+		c.AttachFlow(f.Flow, f.Protocol)
+	}
+	if ob != nil {
+		c.SetMetrics(ob.reg)
+	}
+	return c
+}
+
+// finishChecker runs the end-of-run probes and fails the process on any
+// recorded violation.
+func finishChecker(c *invariant.Checker) {
+	if c == nil {
+		return
+	}
+	c.Finish()
+	if c.Total() == 0 {
+		fmt.Println("invariants: ok (0 violations)")
+		return
+	}
+	for _, v := range c.Violations() {
+		fmt.Fprintln(os.Stderr, "  "+v.String())
+	}
+	fatalErr(fmt.Errorf("invariants: %d violation(s)", c.Total()))
 }
 
 // observer bundles one run's observability stack: a registry, a sampler

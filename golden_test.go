@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tcppr/internal/invariant"
+	"tcppr/internal/metrics"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+	"tcppr/internal/trace"
+	"tcppr/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden traces under results/golden/")
+
+// goldenScenario runs the canonical regression scenario for one variant: a
+// finite 150-segment transfer over the Fig 5 multipath topology at ε=1
+// (per-packet path changes, so the trace exercises reordering, the
+// variants' core concern), everything seeded, and returns the full packet
+// trace. The invariant oracle rides along so a behavioural regression that
+// also breaks conformance is reported as such rather than as a bare diff.
+func goldenScenario(t *testing.T, variant string) []byte {
+	t.Helper()
+	sched := sim.NewScheduler()
+	m := topo.NewMultipath(sched, 3, 10*time.Millisecond)
+	fwd := routing.NewEpsilon(m.FwdPaths, 1, sim.NewRand(sim.SplitSeed(99, 1)))
+	rev := routing.NewEpsilon(m.RevPaths, 1, sim.NewRand(sim.SplitSeed(99, 2)))
+	f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst, fwd, rev)
+
+	rec := trace.NewRecorder()
+	rec.Attach(f)
+	workload.NewFlow(f, variant, workload.PRParams{MaxDataPkts: 150}, 0)
+
+	c := invariant.New(sched)
+	c.AttachNetwork(m.Net)
+	c.AttachFlow(f, variant)
+
+	sched.RunUntil(sim.Time(30 * time.Second))
+	c.Finish()
+	if err := c.Err(); err != nil {
+		t.Fatalf("golden scenario for %s violates invariants: %v", variant, err)
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# golden trace: variant=%s topo=multipath(3,10ms) eps=1 seed=99 max_data=150\n", variant)
+	fmt.Fprintf(&buf, "# columns: time\tkind\tseq\tcum\tretx\n")
+	if err := rec.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func goldenPath(variant string) string {
+	return filepath.Join("results", "golden", metrics.SanitizeName(variant)+".tsv")
+}
+
+// TestGoldenTraces locks the packet-level behaviour of every variant to
+// the corpus under results/golden/. Any change to sender logic, the
+// simulator core, or the RNG stream shows up as a trace diff; run with
+// -update to bless an intentional change.
+func TestGoldenTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs one full transfer per variant; skipped in -short mode")
+	}
+	for _, variant := range workload.AllProtocols() {
+		variant := variant
+		t.Run(metrics.SanitizeName(variant), func(t *testing.T) {
+			t.Parallel()
+			got := goldenScenario(t, variant)
+			path := goldenPath(variant)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden trace (run `go test -run TestGoldenTraces -update .` to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trace for %s diverged from %s (%d bytes now vs %d golden); "+
+					"if the change is intentional, re-bless with -update",
+					variant, path, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestGoldenTracesDeterministic guards the property the corpus depends
+// on: the same scenario run twice in one process yields byte-identical
+// traces.
+func TestGoldenTracesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full transfers; skipped in -short mode")
+	}
+	a := goldenScenario(t, workload.TCPPR)
+	b := goldenScenario(t, workload.TCPPR)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed scenario produced different traces")
+	}
+}

@@ -303,6 +303,12 @@ func (s *Sender) InFlight() int { return len(s.inflight) }
 // MemorizeLen returns the size of the memorize list.
 func (s *Sender) MemorizeLen() int { return s.memorizeCount }
 
+// FlightEstimate exposes the sender's own in-flight estimate (to-be-ack
+// minus the memorized and dup-ack discounts) — the quantity the send gate
+// compares against cwnd. Conformance checkers use it to validate the
+// outstanding ≤ cwnd rule without re-deriving the discounts.
+func (s *Sender) FlightEstimate() int { return s.flightEstimate() }
+
 // Start implements tcp.Sender.
 func (s *Sender) Start() { s.flush() }
 

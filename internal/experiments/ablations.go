@@ -23,6 +23,9 @@ type AblationBetaConfig struct {
 	BandwidthMbps float64
 	Flows         int
 	Durations     Durations
+	// Invariants, when non-nil, attaches the conformance oracle to every
+	// cell and folds violations into the shared summary.
+	Invariants *InvariantOptions
 }
 
 func (c *AblationBetaConfig) fill() {
@@ -61,8 +64,10 @@ func RunAblationBeta(cfg AblationBetaConfig) AblationBetaResult {
 	res := AblationBetaResult{Config: cfg}
 	for _, beta := range cfg.Betas {
 		s := dumbbellScenario(cfg.Flows, topo.Mbps(cfg.BandwidthMbps))
+		ic := cfg.Invariants.watch(fmt.Sprintf("ablation-beta_b%g", beta), s.sched, s.net)
 		flows := mixedRun(s, workload.TCPPR, workload.TCPSACK,
-			workload.PRParams{Beta: beta}, cfg.Durations, nil)
+			workload.PRParams{Beta: beta}, cfg.Durations, nil, ic)
+		ic.finish()
 		bytes := make([]float64, len(flows))
 		for i, f := range flows {
 			bytes[i] = float64(f.WindowBytes())
@@ -132,12 +137,14 @@ type AblationBurstRow struct {
 // list never absorbs drops (every drop halves), quantifying the paper's
 // "one reaction per burst" design choice. Both run as a single flow on a
 // small-buffer dumbbell that produces multi-drop congestion events.
-func RunAblationMemorize(d Durations) AblationBurstResult {
+func RunAblationMemorize(d Durations, inv ...*InvariantOptions) AblationBurstResult {
+	opts := firstInv(inv)
 	run := func(name string, disable bool) AblationBurstRow {
 		sched := sim.NewScheduler()
 		db := topo.NewDumbbell(sched, topo.DumbbellConfig{
 			Hosts: 1, BottleneckBW: topo.Mbps(8), Queue: 20,
 		})
+		ic := opts.watch("ablation-memorize "+name, sched, db.Net)
 		f := tcp.NewFlow(db.Net, 1, db.Src(0), db.Dst(0),
 			routing.Static{Path: db.FwdPath(0)}, routing.Static{Path: db.RevPath(0)})
 		var s *core.Sender
@@ -146,10 +153,12 @@ func RunAblationMemorize(d Durations) AblationBurstResult {
 			return s
 		})
 		f.Start(0)
+		ic.flow(f, workload.TCPPR)
 		var start, end int64
 		sched.At(d.Warm, func() { start = f.UniqueBytes() })
 		sched.At(d.Warm+d.Measure, func() { end = f.UniqueBytes() })
 		sched.RunUntil(d.Warm + d.Measure)
+		ic.finish()
 		return AblationBurstRow{
 			Name:       name,
 			Mbps:       stats.Mbps(stats.Throughput(end-start, d.Measure)),
@@ -168,7 +177,8 @@ func RunAblationMemorize(d Durations) AblationBurstResult {
 // core.HoleMode) in the fairness setting where they differ most: mixed
 // TCP-PR/TCP-SACK flows on a dumbbell. It quantifies the DESIGN.md
 // resolution-6 measurement.
-func RunAblationHoleMode(d Durations) *Table {
+func RunAblationHoleMode(d Durations, inv ...*InvariantOptions) *Table {
+	opts := firstInv(inv)
 	t := &Table{
 		Title:  "Ablation: TCP-PR hole policy (8 PR + 8 SACK flows, dumbbell)",
 		Header: []string{"policy", "mean_norm_TCP-PR", "mean_norm_TCP-SACK"},
@@ -176,6 +186,7 @@ func RunAblationHoleMode(d Durations) *Table {
 	for _, mode := range []core.HoleMode{core.HoleThrottled, core.HoleFreeze, core.HoleFullClock} {
 		mode := mode
 		s := dumbbellScenario(16, 0)
+		ic := opts.watch("ablation-holemode_"+mode.String(), s.sched, s.net)
 		starts := workload.StaggeredStarts(16, 0, 5*time.Second)
 		flows := make([]*workload.Flow, 0, 16)
 		for i, slot := range s.slots {
@@ -190,10 +201,12 @@ func RunAblationHoleMode(d Durations) *Table {
 				flows = append(flows, workload.NewFlow(f, workload.TCPSACK, workload.PRParams{}, starts[i]))
 			}
 		}
+		ic.flows(flows...)
 		for _, f := range flows {
 			f.MarkWindow(s.sched, d.Warm, d.Warm+d.Measure)
 		}
 		s.sched.RunUntil(d.Warm + d.Measure)
+		ic.finish()
 		bytes := make([]float64, len(flows))
 		for i, f := range flows {
 			bytes[i] = float64(f.WindowBytes())
@@ -208,12 +221,14 @@ func RunAblationHoleMode(d Durations) *Table {
 // RunAblationSendCwnd contrasts halving from the cwnd recorded at send
 // time (the paper's choice, insensitive to detection delay) against
 // halving from the current cwnd.
-func RunAblationSendCwnd(d Durations) AblationBurstResult {
+func RunAblationSendCwnd(d Durations, inv ...*InvariantOptions) AblationBurstResult {
+	opts := firstInv(inv)
 	run := func(name string, current bool) AblationBurstRow {
 		sched := sim.NewScheduler()
 		db := topo.NewDumbbell(sched, topo.DumbbellConfig{
 			Hosts: 1, BottleneckBW: topo.Mbps(8), Queue: 20,
 		})
+		ic := opts.watch("ablation-sendcwnd "+name, sched, db.Net)
 		f := tcp.NewFlow(db.Net, 1, db.Src(0), db.Dst(0),
 			routing.Static{Path: db.FwdPath(0)}, routing.Static{Path: db.RevPath(0)})
 		var s *core.Sender
@@ -222,10 +237,12 @@ func RunAblationSendCwnd(d Durations) AblationBurstResult {
 			return s
 		})
 		f.Start(0)
+		ic.flow(f, workload.TCPPR)
 		var start, end int64
 		sched.At(d.Warm, func() { start = f.UniqueBytes() })
 		sched.At(d.Warm+d.Measure, func() { end = f.UniqueBytes() })
 		sched.RunUntil(d.Warm + d.Measure)
+		ic.finish()
 		return AblationBurstRow{
 			Name:       name,
 			Mbps:       stats.Mbps(stats.Throughput(end-start, d.Measure)),

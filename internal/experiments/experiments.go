@@ -102,8 +102,10 @@ func parkingLotScenario(n int, startCross sim.Time) scenario {
 // mixedRun attaches n flows alternating between two protocols (protoA on
 // even slots), runs warm+measure, and returns the per-flow measurement
 // window bytes in slot order. obs (nil when metrics are off) instruments
-// the flows and the scenario's bottleneck links before the clock starts.
-func mixedRun(s scenario, protoA, protoB string, pr workload.PRParams, d Durations, obs *cellObserver) []*workload.Flow {
+// the flows and the scenario's bottleneck links before the clock starts;
+// ic (nil when invariant checking is off) attaches the conformance oracle
+// to every flow.
+func mixedRun(s scenario, protoA, protoB string, pr workload.PRParams, d Durations, obs *cellObserver, ic *invCell) []*workload.Flow {
 	n := len(s.slots)
 	starts := workload.StaggeredStarts(n, 0, 5*time.Second)
 	flows := make([]*workload.Flow, 0, n)
@@ -117,6 +119,8 @@ func mixedRun(s scenario, protoA, protoB string, pr workload.PRParams, d Duratio
 	}
 	obs.flows(flows...)
 	obs.links(s.bottlenecks...)
+	ic.flows(flows...)
+	ic.mirror(obs)
 	for _, f := range flows {
 		f.MarkWindow(s.sched, d.Warm, d.Warm+d.Measure)
 	}

@@ -9,13 +9,14 @@ import (
 // RunExtComparison runs the Fig 6 multipath comparison with the §2
 // related-work schemes we additionally implemented (TCP-DOOR and Eifel)
 // added to the protocol set, at the 10 ms link delay.
-func RunExtComparison(d Durations) Fig6Result {
+func RunExtComparison(d Durations, inv ...*InvariantOptions) Fig6Result {
 	return RunFig6(Fig6Config{
 		Protocols: append(workload.Fig6Protocols(), workload.TCPDOOR, workload.Eifel),
 		Epsilons:  []float64{0, 1, 4, 10, 500},
 		LinkDelays: []time.Duration{
 			10 * time.Millisecond,
 		},
-		Durations: d,
+		Durations:  d,
+		Invariants: firstInv(inv),
 	})
 }

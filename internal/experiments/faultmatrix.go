@@ -34,6 +34,9 @@ type FaultMatrixConfig struct {
 	// with the applied fault events listed in the manifest and counted in
 	// the faults.* counters.
 	Metrics *MetricsOptions
+	// Invariants, when non-nil, attaches the conformance oracle to every
+	// cell and folds violations into the shared summary.
+	Invariants *InvariantOptions
 }
 
 func (c *FaultMatrixConfig) fill() {
@@ -104,8 +107,11 @@ func runFaultCell(sc faults.Scenario, proto string, cfg FaultMatrixConfig) Fault
 	db := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
 	rev := db.Net.FindLink("R", "L")
 
-	ob := cfg.Metrics.observe(fmt.Sprintf("faultmatrix_%s_%s", sc.Name, proto), sched)
+	name := fmt.Sprintf("faultmatrix_%s_%s", sc.Name, proto)
+	ob := cfg.Metrics.observe(name, sched)
 	ob.links(db.Bottleneck, rev)
+	ic := cfg.Invariants.watch(name, sched, db.Net)
+	ic.mirror(ob)
 
 	tl := faults.NewTimeline()
 	if ob != nil {
@@ -134,7 +140,9 @@ func runFaultCell(sc faults.Scenario, proto string, cfg FaultMatrixConfig) Fault
 
 	wf := workload.NewFlow(f, proto, workload.PRParams{}, 0)
 	ob.flows(wf)
+	ic.flows(wf)
 	sched.RunUntil(sim.Time(cfg.Total))
+	ic.finish()
 
 	if sc.Disrupt == 0 {
 		recovery = 0 // nothing to recover from on the baseline row

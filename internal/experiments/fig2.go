@@ -22,6 +22,9 @@ type Fig2Config struct {
 	Durations Durations
 	// Metrics, when non-nil, writes per-cell time series and manifests.
 	Metrics *MetricsOptions
+	// Invariants, when non-nil, attaches the conformance oracle to every
+	// cell and folds violations into the shared summary.
+	Invariants *InvariantOptions
 }
 
 func (c *Fig2Config) fill() {
@@ -64,9 +67,12 @@ func RunFig2(cfg Fig2Config) Fig2Result {
 	res := Fig2Result{Config: cfg}
 	for _, n := range cfg.FlowCounts {
 		s := buildScenario(cfg.Topology, n)
-		obs := cfg.Metrics.observe(fmt.Sprintf("fig2_%s_n%d", cfg.Topology, n), s.sched)
+		name := fmt.Sprintf("fig2_%s_n%d", cfg.Topology, n)
+		obs := cfg.Metrics.observe(name, s.sched)
+		ic := cfg.Invariants.watch(name, s.sched, s.net)
 		flows := mixedRun(s, workload.TCPPR, workload.TCPSACK,
-			workload.PRParams{Alpha: cfg.Alpha, Beta: cfg.Beta}, cfg.Durations, obs)
+			workload.PRParams{Alpha: cfg.Alpha, Beta: cfg.Beta}, cfg.Durations, obs, ic)
+		ic.finish()
 		obs.finish("fig2", cfg.Topology, "TCP-PR vs TCP-SACK", 0,
 			map[string]float64{"alpha": cfg.Alpha, "beta": cfg.Beta, "flows": float64(n)},
 			cfg.Durations.Warm+cfg.Durations.Measure)

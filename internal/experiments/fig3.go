@@ -32,6 +32,9 @@ type Fig3Config struct {
 	Durations Durations
 	// Metrics, when non-nil, writes per-cell time series and manifests.
 	Metrics *MetricsOptions
+	// Invariants, when non-nil, attaches the conformance oracle to every
+	// cell and folds violations into the shared summary.
+	Invariants *InvariantOptions
 }
 
 func (c *Fig3Config) fill() {
@@ -84,10 +87,12 @@ func RunFig3(cfg Fig3Config) Fig3Result {
 	points := parallelMap(len(cells), func(i int) Fig3Point {
 		c := cells[i]
 		s := fig3Scenario(cfg.Topology, cfg.Flows, c.bw)
-		obs := cfg.Metrics.observe(
-			fmt.Sprintf("fig3_%s_bw%g_seed%d", cfg.Topology, c.bw, c.seed), s.sched)
+		name := fmt.Sprintf("fig3_%s_bw%g_seed%d", cfg.Topology, c.bw, c.seed)
+		obs := cfg.Metrics.observe(name, s.sched)
+		ic := cfg.Invariants.watch(name, s.sched, s.net)
 		flows := mixedRunSeeded(s, workload.TCPPR, workload.TCPSACK,
-			workload.PRParams{}, cfg.Durations, int64(c.seed), obs)
+			workload.PRParams{}, cfg.Durations, int64(c.seed), obs, ic)
+		ic.finish()
 		defer obs.finish("fig3", cfg.Topology, "TCP-PR vs TCP-SACK", int64(c.seed),
 			map[string]float64{"bw_mbps": c.bw, "flows": float64(cfg.Flows)},
 			cfg.Durations.Warm+cfg.Durations.Measure)
@@ -129,7 +134,7 @@ func fig3Scenario(topology string, n int, bwMbps float64) scenario {
 // mixedRunSeeded is mixedRun with seed-dependent start-time jitter, so
 // repeated runs of the same configuration sample different phase
 // alignments (the paper repeats each Fig 3 point ten times).
-func mixedRunSeeded(s scenario, protoA, protoB string, pr workload.PRParams, d Durations, seed int64, obs *cellObserver) []*workload.Flow {
+func mixedRunSeeded(s scenario, protoA, protoB string, pr workload.PRParams, d Durations, seed int64, obs *cellObserver, ic *invCell) []*workload.Flow {
 	n := len(s.slots)
 	base := workload.StaggeredStarts(n, 0, 5*time.Second)
 	rng := sim.NewRand(sim.SplitSeed(991, seed))
@@ -145,6 +150,8 @@ func mixedRunSeeded(s scenario, protoA, protoB string, pr workload.PRParams, d D
 	}
 	obs.flows(flows...)
 	obs.links(s.bottlenecks...)
+	ic.flows(flows...)
+	ic.mirror(obs)
 	for _, f := range flows {
 		f.MarkWindow(s.sched, d.Warm, d.Warm+d.Measure)
 	}

@@ -23,6 +23,9 @@ type Fig4Config struct {
 	Durations Durations
 	// Metrics, when non-nil, writes per-cell time series and manifests.
 	Metrics *MetricsOptions
+	// Invariants, when non-nil, attaches the conformance oracle to every
+	// cell and folds violations into the shared summary.
+	Invariants *InvariantOptions
 }
 
 func (c *Fig4Config) fill() {
@@ -71,10 +74,12 @@ func RunFig4(cfg Fig4Config) Fig4Result {
 	points := parallelMap(len(cells), func(i int) Fig4Point {
 		c := cells[i]
 		s := buildScenario(cfg.Topology, cfg.Flows)
-		obs := cfg.Metrics.observe(
-			fmt.Sprintf("fig4_%s_a%g_b%g", cfg.Topology, c.alpha, c.beta), s.sched)
+		name := fmt.Sprintf("fig4_%s_a%g_b%g", cfg.Topology, c.alpha, c.beta)
+		obs := cfg.Metrics.observe(name, s.sched)
+		ic := cfg.Invariants.watch(name, s.sched, s.net)
 		flows := mixedRun(s, workload.TCPPR, workload.TCPSACK,
-			workload.PRParams{Alpha: c.alpha, Beta: c.beta}, cfg.Durations, obs)
+			workload.PRParams{Alpha: c.alpha, Beta: c.beta}, cfg.Durations, obs, ic)
+		ic.finish()
 		defer obs.finish("fig4", cfg.Topology, "TCP-PR vs TCP-SACK", 0,
 			map[string]float64{"alpha": c.alpha, "beta": c.beta, "flows": float64(cfg.Flows)},
 			cfg.Durations.Warm+cfg.Durations.Measure)

@@ -34,6 +34,9 @@ type Fig6Config struct {
 	Seed int64
 	// Metrics, when non-nil, writes per-cell time series and manifests.
 	Metrics *MetricsOptions
+	// Invariants, when non-nil, attaches the conformance oracle to every
+	// cell and folds violations into the shared summary.
+	Invariants *InvariantOptions
 }
 
 func (c *Fig6Config) fill() {
@@ -108,10 +111,13 @@ func runFig6Cell(cfg Fig6Config, proto string, eps float64, delay time.Duration)
 	rev := routing.NewEpsilon(m.RevPaths, eps, sim.NewRand(sim.SplitSeed(cfg.Seed, 2)))
 	f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst, fwd, rev)
 	wf := workload.NewFlow(f, proto, workload.PRParams{}, 0)
-	obs := cfg.Metrics.observe(
-		fmt.Sprintf("fig6_%s_eps%g_d%dms", proto, eps, delay.Milliseconds()), sched)
+	name := fmt.Sprintf("fig6_%s_eps%g_d%dms", proto, eps, delay.Milliseconds())
+	obs := cfg.Metrics.observe(name, sched)
 	obs.flows(wf)
 	obs.links(m.Net.Links()...)
+	ic := cfg.Invariants.watch(name, sched, m.Net)
+	ic.flows(wf)
+	ic.mirror(obs)
 	// Convergence to steady state through congestion avoidance scales
 	// with the bandwidth-delay product, so the warm-up scales with the
 	// link delay (60 ms links need ~6x the 10 ms warm-up).
@@ -121,6 +127,7 @@ func runFig6Cell(cfg Fig6Config, proto string, eps float64, delay time.Duration)
 	}
 	wf.MarkWindow(sched, warm, warm+cfg.Durations.Measure)
 	sched.RunUntil(warm + cfg.Durations.Measure)
+	ic.finish()
 	obs.finish("fig6", "multipath", proto, cfg.Seed,
 		map[string]float64{"eps": eps, "delay_ms": float64(delay.Milliseconds()), "paths": float64(cfg.Paths)},
 		warm+cfg.Durations.Measure)

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"tcppr/internal/invariant"
+	"tcppr/internal/netem"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/workload"
+)
+
+// InvariantOptions attaches the internal/invariant conformance oracle to
+// every simulation cell of an experiment run. Each cell gets its own
+// Checker (cells run on the parallel worker pool, but each cell's
+// simulation is single-threaded); violations are folded into this shared,
+// mutex-guarded summary as cells complete. A nil *InvariantOptions
+// disables checking everywhere — every method is a no-op on nil, so call
+// sites need no invariant-enabled branch (the same pattern as
+// MetricsOptions / cellObserver).
+type InvariantOptions struct {
+	mu    sync.Mutex
+	cells int
+	total int
+	fails []CellViolations
+}
+
+// CellViolations is the invariant outcome of one failing cell.
+type CellViolations struct {
+	// Cell names the simulation cell ("fig2_dumbbell_n8", ...).
+	Cell string
+	// Total counts every violation in the cell; Violations holds the
+	// recorded ones (capped at invariant.DefaultMaxRecord).
+	Total      int
+	Violations []invariant.Violation
+}
+
+// Cells returns how many cells ran under these options.
+func (o *InvariantOptions) Cells() int {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cells
+}
+
+// Total returns the violation count across all cells.
+func (o *InvariantOptions) Total() int {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.total
+}
+
+// Failures returns the per-cell violation reports, in completion order.
+func (o *InvariantOptions) Failures() []CellViolations {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]CellViolations(nil), o.fails...)
+}
+
+// Err returns nil when every cell was clean, otherwise an error naming the
+// failing cells and their first violations.
+func (o *InvariantOptions) Err() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.total == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "invariants: %d violation(s) in %d of %d cell(s)", o.total, len(o.fails), o.cells)
+	for i, f := range o.fails {
+		if i == 3 {
+			sb.WriteString("; …")
+			break
+		}
+		fmt.Fprintf(&sb, "; cell %s: %d violation(s)", f.Cell, f.Total)
+		for j, v := range f.Violations {
+			if j == 2 {
+				sb.WriteString(" …")
+				break
+			}
+			fmt.Fprintf(&sb, " [%s]", v)
+		}
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// watch opens one cell's checking scope: a Checker bound to the cell's
+// scheduler with the network attached (which also arms the event/packet
+// pool ownership checks). Nil receiver → nil cell, and every invCell
+// method is a no-op on nil.
+func (o *InvariantOptions) watch(cell string, sched *sim.Scheduler, net *netem.Network) *invCell {
+	if o == nil {
+		return nil
+	}
+	c := invariant.New(sched)
+	c.AttachNetwork(net)
+	return &invCell{opts: o, name: cell, c: c}
+}
+
+// invCell checks one simulation cell.
+type invCell struct {
+	opts *InvariantOptions
+	name string
+	c    *invariant.Checker
+}
+
+// flow attaches the conformance rules for one flow. Call after the sender
+// is attached (workload.NewFlow or Flow.Attach) and before the clock runs.
+func (ic *invCell) flow(f *tcp.Flow, protocol string) {
+	if ic == nil {
+		return
+	}
+	ic.c.AttachFlow(f, protocol)
+}
+
+// flows attaches every measurement flow using its workload label.
+func (ic *invCell) flows(fs ...*workload.Flow) {
+	if ic == nil {
+		return
+	}
+	for _, f := range fs {
+		ic.c.AttachFlow(f.Flow, f.Protocol)
+	}
+}
+
+// mirror routes the cell's violation counters into the cell observer's
+// metrics registry (invariant.violations*), so manifests record them.
+func (ic *invCell) mirror(obs *cellObserver) {
+	if ic == nil || obs == nil {
+		return
+	}
+	ic.c.SetMetrics(obs.reg)
+}
+
+// finish runs the end-of-run rules and folds the cell's outcome into the
+// shared summary.
+func (ic *invCell) finish() {
+	if ic == nil {
+		return
+	}
+	ic.c.Finish()
+	ic.opts.record(CellViolations{
+		Cell: ic.name, Total: ic.c.Total(), Violations: ic.c.Violations(),
+	})
+}
+
+// record folds one finished cell into the summary; cells complete on
+// parallelMap workers, so the fold is the only cross-cell synchronization.
+func (o *InvariantOptions) record(cv CellViolations) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.cells++
+	if cv.Total > 0 {
+		o.total += cv.Total
+		o.fails = append(o.fails, cv)
+	}
+}
+
+// firstInv unpacks the optional variadic *InvariantOptions parameter the
+// plain-Durations runners grew (variadic so existing callers stay valid).
+func firstInv(inv []*InvariantOptions) *InvariantOptions {
+	if len(inv) > 0 {
+		return inv[0]
+	}
+	return nil
+}

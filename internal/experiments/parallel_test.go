@@ -63,3 +63,43 @@ func TestParallelResultsMatchSequential(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelMapConcurrentWithSetParallelism(t *testing.T) {
+	// The CLI can flip -parallel between runs while tests already map in
+	// the background; the cap is read per parallelMap call, so concurrent
+	// writers must never race map workers. Run under -race this exercises
+	// the atomic handoff.
+	defer SetParallelism(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			SetParallelism(i % 5)
+		}
+	}()
+	for j := 0; j < 20; j++ {
+		out := parallelMap(32, func(i int) int { return i + 1 })
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("out[%d] = %d", i, v)
+			}
+		}
+	}
+	<-done
+}
+
+func TestInvariantOptionsConcurrentFold(t *testing.T) {
+	// Cells fold their violation summaries into one shared InvariantOptions
+	// from parallelMap workers; the fold must be race-free and lossless.
+	opts := &InvariantOptions{}
+	parallelMap(64, func(i int) struct{} {
+		opts.record(CellViolations{Cell: "cell", Total: 1})
+		return struct{}{}
+	})
+	if got := opts.Cells(); got != 64 {
+		t.Fatalf("Cells() = %d, want 64", got)
+	}
+	if got := opts.Total(); got != 64 {
+		t.Fatalf("Total() = %d, want 64", got)
+	}
+}

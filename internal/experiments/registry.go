@@ -35,6 +35,21 @@ type RunConfig struct {
 	// how a cell runs — the registry round-trip test uses it to prove
 	// each Spec end to end without paying for full sweeps.
 	Smoke bool
+	// CheckInvariants attaches the internal/invariant conformance oracle
+	// to every simulation cell. The run fails with a descriptive error if
+	// any cell violates a conservation or protocol-conformance rule. It
+	// also arms the event/packet pool ownership checks for the checked
+	// cells.
+	CheckInvariants bool
+}
+
+// invariants returns the shared per-run invariant options (nil when
+// checking is off).
+func (c RunConfig) invariants() *InvariantOptions {
+	if !c.CheckInvariants {
+		return nil
+	}
+	return &InvariantOptions{}
 }
 
 // durations resolves the zero value to the paper's full protocol.
@@ -77,9 +92,13 @@ type report struct {
 func (r report) Tables() []*Table    { return r.tables }
 func (r report) CSVFiles() []CSVFile { return r.csvs }
 
-// finish completes a spec run: fold the metrics aggregate (figure-grade
-// experiments only), write the CSV exports, and hand the report back.
-func (r report) finish(cfg RunConfig, name string, aggregate bool) (Report, error) {
+// finish completes a spec run: surface any invariant violations as the
+// run's error, fold the metrics aggregate (figure-grade experiments only),
+// write the CSV exports, and hand the report back.
+func (r report) finish(cfg RunConfig, inv *InvariantOptions, name string, aggregate bool) (Report, error) {
+	if err := inv.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
 	if aggregate && cfg.Metrics != nil {
 		if err := cfg.Metrics.WriteAggregate(name); err != nil {
 			return nil, fmt.Errorf("%s: aggregate: %w", name, err)
@@ -147,8 +166,9 @@ var specs = []Spec{
 		Describe: "Fig 2 fairness: TCP-PR vs TCP-SACK normalized throughput across flow counts",
 		Run: func(cfg RunConfig) (Report, error) {
 			var rep report
+			inv := cfg.invariants()
 			for _, topology := range cfg.topologies() {
-				c := Fig2Config{Topology: topology, Durations: cfg.durations(), Metrics: cfg.Metrics}
+				c := Fig2Config{Topology: topology, Durations: cfg.durations(), Metrics: cfg.Metrics, Invariants: inv}
 				if cfg.Smoke {
 					c.FlowCounts = []int{8}
 				}
@@ -156,7 +176,7 @@ var specs = []Spec{
 				rep.tables = append(rep.tables, res.Table())
 				rep.csvs = append(rep.csvs, CSVFile{"fig2_" + topology + ".csv", res.PerFlowTable()})
 			}
-			return rep.finish(cfg, "fig2", true)
+			return rep.finish(cfg, inv, "fig2", true)
 		},
 	},
 	{
@@ -164,8 +184,9 @@ var specs = []Spec{
 		Describe: "Fig 3 CoV of throughput vs loss rate, repeated over seeds",
 		Run: func(cfg RunConfig) (Report, error) {
 			var rep report
+			inv := cfg.invariants()
 			for _, topology := range cfg.topologies() {
-				c := Fig3Config{Topology: topology, Durations: cfg.durations(), Metrics: cfg.Metrics}
+				c := Fig3Config{Topology: topology, Durations: cfg.durations(), Metrics: cfg.Metrics, Invariants: inv}
 				if cfg.Smoke {
 					c.BandwidthsMbps = []float64{10}
 					c.Seeds = 1
@@ -175,7 +196,7 @@ var specs = []Spec{
 				rep.tables = append(rep.tables, res.MeanTable())
 				rep.csvs = append(rep.csvs, CSVFile{"fig3_" + topology + ".csv", res.Table()})
 			}
-			return rep.finish(cfg, "fig3", true)
+			return rep.finish(cfg, inv, "fig3", true)
 		},
 	},
 	{
@@ -183,8 +204,9 @@ var specs = []Spec{
 		Describe: "Fig 4 alpha/beta sensitivity grid against TCP-SACK",
 		Run: func(cfg RunConfig) (Report, error) {
 			var rep report
+			inv := cfg.invariants()
 			for _, topology := range cfg.topologies() {
-				c := Fig4Config{Topology: topology, Durations: cfg.durations(), Metrics: cfg.Metrics}
+				c := Fig4Config{Topology: topology, Durations: cfg.durations(), Metrics: cfg.Metrics, Invariants: inv}
 				if cfg.Smoke {
 					c.Alphas = []float64{0.995}
 					c.Betas = []float64{3}
@@ -194,14 +216,15 @@ var specs = []Spec{
 				rep.tables = append(rep.tables, res.Table())
 				rep.csvs = append(rep.csvs, CSVFile{"fig4_" + topology + ".csv", res.Table()})
 			}
-			return rep.finish(cfg, "fig4", true)
+			return rep.finish(cfg, inv, "fig4", true)
 		},
 	},
 	{
 		Name:     "fig6",
 		Describe: "Fig 6 multipath comparison across protocols, epsilons, and link delays",
 		Run: func(cfg RunConfig) (Report, error) {
-			c := Fig6Config{Durations: cfg.durations(), Seed: cfg.Seed, Metrics: cfg.Metrics}
+			inv := cfg.invariants()
+			c := Fig6Config{Durations: cfg.durations(), Seed: cfg.Seed, Metrics: cfg.Metrics, Invariants: inv}
 			if cfg.Smoke {
 				c.Protocols = []string{workload.TCPPR, workload.TCPSACK}
 				c.Epsilons = []float64{1}
@@ -213,14 +236,15 @@ var specs = []Spec{
 				rep.tables = append(rep.tables, t)
 				rep.csvs = append(rep.csvs, CSVFile{fmt.Sprintf("fig6_delay%d.csv", i), t})
 			}
-			return rep.finish(cfg, "fig6", true)
+			return rep.finish(cfg, inv, "fig6", true)
 		},
 	},
 	{
 		Name:     "ablation-beta",
 		Describe: "Ablation: beta under heavy loss (the paper's §4 note)",
 		Run: func(cfg RunConfig) (Report, error) {
-			c := AblationBetaConfig{Durations: cfg.durations()}
+			inv := cfg.invariants()
+			c := AblationBetaConfig{Durations: cfg.durations(), Invariants: inv}
 			if cfg.Smoke {
 				c.Betas = []float64{3}
 				c.Flows = 8
@@ -230,73 +254,80 @@ var specs = []Spec{
 				tables: []*Table{res.Table()},
 				csvs:   []CSVFile{{"ablation_beta.csv", res.Table()}},
 			}
-			return rep.finish(cfg, "ablation-beta", false)
+			return rep.finish(cfg, inv, "ablation-beta", false)
 		},
 	},
 	{
 		Name:     "ablation-memorize",
 		Describe: "Ablation: memorize list on vs off under burst loss",
 		Run: func(cfg RunConfig) (Report, error) {
-			res := RunAblationMemorize(cfg.durations())
+			inv := cfg.invariants()
+			res := RunAblationMemorize(cfg.durations(), inv)
 			rep := report{tables: []*Table{
 				res.Table("Ablation: memorize list (single flow, lossy dumbbell)"),
 			}}
-			return rep.finish(cfg, "ablation-memorize", false)
+			return rep.finish(cfg, inv, "ablation-memorize", false)
 		},
 	},
 	{
 		Name:     "ablation-sendcwnd",
 		Describe: "Ablation: halve from send-time cwnd vs current cwnd",
 		Run: func(cfg RunConfig) (Report, error) {
-			res := RunAblationSendCwnd(cfg.durations())
+			inv := cfg.invariants()
+			res := RunAblationSendCwnd(cfg.durations(), inv)
 			rep := report{tables: []*Table{
 				res.Table("Ablation: halve from send-time cwnd vs current cwnd"),
 			}}
-			return rep.finish(cfg, "ablation-sendcwnd", false)
+			return rep.finish(cfg, inv, "ablation-sendcwnd", false)
 		},
 	},
 	{
 		Name:     "ablation-holemode",
 		Describe: "Ablation: hole-handling policy while the cumulative ACK is frozen",
 		Run: func(cfg RunConfig) (Report, error) {
-			rep := report{tables: []*Table{RunAblationHoleMode(cfg.durations())}}
-			return rep.finish(cfg, "ablation-holemode", false)
+			inv := cfg.invariants()
+			rep := report{tables: []*Table{RunAblationHoleMode(cfg.durations(), inv)}}
+			return rep.finish(cfg, inv, "ablation-holemode", false)
 		},
 	},
 	{
 		Name:     "ext-threshold",
 		Describe: "Extension: loss-detection threshold sweep over a recorded trace",
 		Run: func(cfg RunConfig) (Report, error) {
-			t := RunThresholdSweep(cfg.durations())
+			inv := cfg.invariants()
+			t := RunThresholdSweep(cfg.durations(), inv)
 			rep := report{tables: []*Table{t}, csvs: []CSVFile{{"ext_threshold.csv", t}}}
-			return rep.finish(cfg, "ext-threshold", false)
+			return rep.finish(cfg, inv, "ext-threshold", false)
 		},
 	},
 	{
 		Name:     "ext-reorder",
 		Describe: "Extension: how much reordering each epsilon actually produces",
 		Run: func(cfg RunConfig) (Report, error) {
-			t := ReorderTable(RunReorderProfile(cfg.durations(), 0))
+			inv := cfg.invariants()
+			t := ReorderTable(RunReorderProfile(cfg.durations(), 0, inv))
 			rep := report{tables: []*Table{t}, csvs: []CSVFile{{"ext_reorder.csv", t}}}
-			return rep.finish(cfg, "ext-reorder", false)
+			return rep.finish(cfg, inv, "ext-reorder", false)
 		},
 	},
 	{
 		Name:     "ext-robustness",
 		Describe: "Extension: goodput under ACK loss, delayed ACKs, jitter, and RED",
 		Run: func(cfg RunConfig) (Report, error) {
-			res := RunRobustness(cfg.durations())
+			inv := cfg.invariants()
+			res := RunRobustness(cfg.durations(), inv)
 			rep := report{
 				tables: []*Table{res.Table()},
 				csvs:   []CSVFile{{"ext_robustness.csv", res.Table()}},
 			}
-			return rep.finish(cfg, "ext-robustness", false)
+			return rep.finish(cfg, inv, "ext-robustness", false)
 		},
 	},
 	{
 		Name:     "ext-door",
 		Describe: "Extension: Fig 6 protocol set plus TCP-DOOR and Eifel",
 		Run: func(cfg RunConfig) (Report, error) {
+			inv := cfg.invariants()
 			var res Fig6Result
 			if cfg.Smoke {
 				res = RunFig6(Fig6Config{
@@ -305,9 +336,10 @@ var specs = []Spec{
 					LinkDelays: []time.Duration{10 * time.Millisecond},
 					Durations:  cfg.durations(),
 					Seed:       cfg.Seed,
+					Invariants: inv,
 				})
 			} else {
-				res = RunExtComparison(cfg.durations())
+				res = RunExtComparison(cfg.durations(), inv)
 			}
 			var rep report
 			for _, t := range res.Table() {
@@ -315,14 +347,15 @@ var specs = []Spec{
 				rep.tables = append(rep.tables, t)
 				rep.csvs = append(rep.csvs, CSVFile{"ext_door.csv", t})
 			}
-			return rep.finish(cfg, "ext-door", false)
+			return rep.finish(cfg, inv, "ext-door", false)
 		},
 	},
 	{
 		Name:     "faultmatrix",
 		Describe: "Survival matrix: every protocol against every scripted fault scenario",
 		Run: func(cfg RunConfig) (Report, error) {
-			c := FaultMatrixConfig{Seed: cfg.Seed, Metrics: cfg.Metrics}
+			inv := cfg.invariants()
+			c := FaultMatrixConfig{Seed: cfg.Seed, Metrics: cfg.Metrics, Invariants: inv}
 			// The fault matrix measures absolute simulated time, not a
 			// warm/measure split; Quick (and Smoke) map to its shortened
 			// run the CLI's -quick always used.
@@ -338,7 +371,7 @@ var specs = []Spec{
 				tables: []*Table{res.Table()},
 				csvs:   []CSVFile{{"faultmatrix.csv", res.Table()}},
 			}
-			return rep.finish(cfg, "faultmatrix", true)
+			return rep.finish(cfg, inv, "faultmatrix", true)
 		},
 	},
 }

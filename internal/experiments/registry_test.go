@@ -61,7 +61,9 @@ func TestRegistryIsACopy(t *testing.T) {
 
 // TestRegistryRoundTrip runs every registered experiment end to end under
 // Quick durations with Smoke trimming and checks each produces a non-empty
-// Report and writes its advertised CSV files.
+// Report and writes its advertised CSV files. CheckInvariants is on, so
+// this doubles as the conformance gate: a single oracle violation in any
+// cell of any experiment fails the round trip.
 func TestRegistryRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment; skipped in -short mode")
@@ -71,7 +73,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 		t.Run(spec.Name, func(t *testing.T) {
 			t.Parallel()
 			dir := t.TempDir()
-			rep, err := spec.Run(RunConfig{Durations: Quick, CSVDir: dir, Smoke: true})
+			rep, err := spec.Run(RunConfig{Durations: Quick, CSVDir: dir, Smoke: true, CheckInvariants: true})
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"tcppr/internal/netem"
@@ -54,7 +55,8 @@ type RobustnessResult struct {
 
 // RunRobustness measures each protocol's single-flow goodput on a 15 Mbps
 // dumbbell under each impairment.
-func RunRobustness(d Durations) RobustnessResult {
+func RunRobustness(d Durations, inv ...*InvariantOptions) RobustnessResult {
+	opts := firstInv(inv)
 	protos := []string{workload.TCPPR, workload.TCPSACK, workload.NewReno, workload.TDFR}
 	res := RobustnessResult{
 		Protocols: protos,
@@ -64,15 +66,16 @@ func RunRobustness(d Durations) RobustnessResult {
 	for _, sc := range RobustnessScenarios() {
 		res.Rows[sc] = make(map[string]float64)
 		for _, proto := range protos {
-			res.Rows[sc][proto] = runRobustnessCell(sc, proto, d)
+			res.Rows[sc][proto] = runRobustnessCell(sc, proto, d, opts)
 		}
 	}
 	return res
 }
 
-func runRobustnessCell(sc RobustnessScenario, proto string, d Durations) float64 {
+func runRobustnessCell(sc RobustnessScenario, proto string, d Durations, opts *InvariantOptions) float64 {
 	sched := sim.NewScheduler()
 	db := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	ic := opts.watch(fmt.Sprintf("robustness %s %s", sc, proto), sched, db.Net)
 	f := tcp.NewFlow(db.Net, 1, db.Src(0), db.Dst(0),
 		routing.Static{Path: db.FwdPath(0)}, routing.Static{Path: db.RevPath(0)})
 
@@ -89,8 +92,10 @@ func runRobustnessCell(sc RobustnessScenario, proto string, d Durations) float64
 	}
 
 	wf := workload.NewFlow(f, proto, workload.PRParams{}, 0)
+	ic.flows(wf)
 	wf.MarkWindow(sched, d.Warm, d.Warm+d.Measure)
 	sched.RunUntil(d.Warm + d.Measure)
+	ic.finish()
 	return stats.Mbps(stats.Throughput(wf.WindowBytes(), d.Measure))
 }
 

@@ -17,16 +17,19 @@ import (
 // technical report [5]: sweep β over a timing trace recorded from a real
 // TCP-PR flow under full multipath reordering (ε = 0, Fig 5 topology) and
 // report the false-drop rate and detection headroom for each value.
-func RunThresholdSweep(d Durations) *Table {
+func RunThresholdSweep(d Durations, inv ...*InvariantOptions) *Table {
 	sched := sim.NewScheduler()
 	m := topo.NewMultipath(sched, 3, 10*time.Millisecond)
+	ic := firstInv(inv).watch("ext-threshold", sched, m.Net)
 	fwd := routing.NewEpsilon(m.FwdPaths, 0, sim.NewRand(61))
 	rev := routing.NewEpsilon(m.RevPaths, 0, sim.NewRand(62))
 	f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst, fwd, rev)
 	rec := trace.NewRecorder()
 	rec.Attach(f)
 	workload.NewFlow(f, workload.TCPPR, workload.PRParams{}, 0)
+	ic.flow(f, workload.TCPPR)
 	sched.RunUntil(d.Warm + d.Measure)
+	ic.finish()
 
 	samples := analysis.ExtractSamples(rec)
 	betas := []float64{1.05, 1.25, 1.5, 2, 3, 5, 10}

@@ -1,0 +1,84 @@
+package fuzzer
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/workload"
+)
+
+// TestCampaignClean: a short campaign over the real senders must come back
+// with zero failures.
+func TestCampaignClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz campaign in -short mode")
+	}
+	res := Run(Config{Runs: 12, Seed: 1, Duration: 10 * time.Second, Log: t.Logf})
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicReplay: the same seed must reproduce the same scenario
+// and the same verdict.
+func TestDeterministicReplay(t *testing.T) {
+	seed := sim.SplitSeed(7, 3)
+	cfg := Config{Duration: 5 * time.Second}
+	descA, cA := RunOne(seed, cfg)
+	descB, cB := RunOne(seed, cfg)
+	if descA != descB {
+		t.Fatalf("same seed drew different scenarios:\n  %s\n  %s", descA, descB)
+	}
+	if cA.Total() != cB.Total() {
+		t.Fatalf("same seed produced %d vs %d violations", cA.Total(), cB.Total())
+	}
+}
+
+// constTxSeqSender wraps a real sender but rewrites every segment to carry
+// the same transmission counter — a deliberate conformance bug the oracle
+// must catch.
+type constTxSeqSender struct {
+	tcp.Sender
+}
+
+func brokenFactory(protocol string, pr workload.PRParams) workload.SenderFactory {
+	real := workload.Factory(protocol, pr)
+	return func(env tcp.SenderEnv) tcp.Sender {
+		inner := env.Transmit
+		env.Transmit = func(seg tcp.Seg) bool {
+			seg.TxSeq = 1
+			return inner(seg)
+		}
+		return &constTxSeqSender{Sender: real(env)}
+	}
+}
+
+// TestSeededViolationReported: a campaign over deliberately broken senders
+// must fail, and each failure must replay from its reported seed.
+func TestSeededViolationReported(t *testing.T) {
+	cfg := Config{Runs: 3, Seed: 42, Duration: 5 * time.Second, Factory: brokenFactory}
+	res := Run(cfg)
+	if len(res.Failures) != res.Runs {
+		t.Fatalf("broken sender escaped detection: %d of %d scenarios failed", len(res.Failures), res.Runs)
+	}
+	f := res.Failures[0]
+	if f.Seed == 0 || f.Desc == "" || len(f.Violations) == 0 {
+		t.Fatalf("failure report incomplete: %+v", f)
+	}
+	// Replay from the reported seed alone.
+	desc, c := RunOne(f.Seed, Config{Duration: 5 * time.Second, Factory: brokenFactory})
+	if desc != f.Desc {
+		t.Errorf("replay drew %q, campaign reported %q", desc, f.Desc)
+	}
+	if c.Total() == 0 {
+		t.Error("replay of failing seed produced no violations")
+	}
+	if c.Violations()[0].Rule != "txseq-monotone" {
+		t.Errorf("rule = %q, want txseq-monotone", c.Violations()[0].Rule)
+	}
+	if err := res.Err(); err == nil {
+		t.Error("Result.Err() = nil with failures present")
+	}
+}

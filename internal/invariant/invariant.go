@@ -1,0 +1,266 @@
+// Package invariant is an online conformance oracle for the simulator: a
+// Checker attaches to a running scenario through the existing observation
+// seams — tcp.FlowHooks, the per-link OnDrop/OnDeliver callbacks, and the
+// scheduler clock — and verifies, while the simulation executes, that
+//
+//   - packets are conserved: everything a flow sends is eventually
+//     delivered, dropped (queue, loss, blackout, corruption), or still in
+//     flight, with link-level duplication as the only permitted surplus;
+//   - every receiver ACK is consistent with the receiver's own state
+//     (monotone cumulative point, well-formed SACK blocks that describe
+//     actually-buffered out-of-order data, sane DSACK reports);
+//   - each sender variant obeys its own discipline: the RFC family keeps
+//     RTO within its clamp, honours the 1 s floor before timeout
+//     retransmissions, follows Karn's rule, and stays inside cwnd (+
+//     limited transmit); TCP-PR never retransmits before its β·ewrtt
+//     threshold has elapsed and never cuts cwnd without a detected drop.
+//
+// Attaching also arms the sim/netem pool-ownership debug checks, so a
+// double-released event or packet panics at the release site instead of
+// corrupting an unrelated later run. When no Checker is attached nothing
+// in the hot path changes — the hooks stay nil and the pool checks stay
+// single predictable branches.
+//
+// Violations are recorded (capped) with the virtual time, rule name, and
+// flow; the fuzzer in internal/invariant/fuzzer composes random scenarios
+// and reports the seed needed to replay any violation it finds.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+
+	"tcppr/internal/metrics"
+	"tcppr/internal/netem"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+)
+
+// DefaultMaxRecord caps how many violations a Checker keeps in full; the
+// total count keeps incrementing past the cap.
+const DefaultMaxRecord = 32
+
+// Violation is one observed rule breach.
+type Violation struct {
+	// At is the virtual time of the breach.
+	At sim.Time
+	// Rule names the invariant, e.g. "pr-early-retx" or "conserve-data".
+	Rule string
+	// Flow identifies the flow ("flow 3 (TCP-PR)"), or the link for
+	// link-level rules, or "" for network-wide rules.
+	Flow string
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+func (v Violation) String() string {
+	where := v.Flow
+	if where != "" {
+		where += ": "
+	}
+	return fmt.Sprintf("%12v %s%s: %s", v.At, where, v.Rule, v.Msg)
+}
+
+// Checker runs the invariant suite for one simulation (one scheduler).
+// Create it with New, attach the network and each flow before (or right
+// after) the run starts, and call Finish after the run to evaluate the
+// end-of-run conservation rules.
+type Checker struct {
+	sched *sim.Scheduler
+	reg   *metrics.Registry
+	max   int
+
+	total      int
+	violations []Violation
+
+	net   *netem.Network
+	links []*linkWatch
+	flows map[int]*flowState
+	order []*flowState // attach order, for deterministic Finish
+}
+
+// New returns a Checker bound to the simulation scheduler.
+func New(sched *sim.Scheduler) *Checker {
+	return &Checker{sched: sched, max: DefaultMaxRecord, flows: make(map[int]*flowState)}
+}
+
+// SetMetrics mirrors every violation into the registry as the counter
+// "invariant.violations" plus one "invariant.violations.<rule>" per rule.
+// The total is registered immediately, so a clean run's manifest still
+// records "invariant.violations = 0" as proof the oracle was attached.
+func (c *Checker) SetMetrics(reg *metrics.Registry) {
+	c.reg = reg
+	if reg != nil {
+		reg.Counter("invariant.violations")
+	}
+}
+
+// SetMaxRecord changes the cap on fully-recorded violations.
+func (c *Checker) SetMaxRecord(n int) {
+	if n > 0 {
+		c.max = n
+	}
+}
+
+// violatef records one violation.
+func (c *Checker) violatef(flow, rule, format string, args ...any) {
+	c.total++
+	if len(c.violations) < c.max {
+		c.violations = append(c.violations, Violation{
+			At: c.sched.Now(), Rule: rule, Flow: flow, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	if c.reg != nil {
+		c.reg.Counter("invariant.violations").Inc()
+		c.reg.Counter("invariant.violations." + rule).Inc()
+	}
+}
+
+// Total returns the number of violations observed (including any past the
+// recording cap).
+func (c *Checker) Total() int { return c.total }
+
+// Violations returns the recorded violations in detection order.
+func (c *Checker) Violations() []Violation {
+	out := make([]Violation, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// Err returns nil when no invariant was violated, otherwise an error
+// summarizing the first recorded violations.
+func (c *Checker) Err() error {
+	if c.total == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d invariant violation(s)", c.total)
+	for i, v := range c.violations {
+		if i == 5 {
+			fmt.Fprintf(&sb, "; …")
+			break
+		}
+		fmt.Fprintf(&sb, "; %s", v)
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// AttachNetwork wraps every link's OnDrop/OnDeliver hook with conservation
+// accounting and arms the packet/event pool ownership checks. Call it
+// after the topology is built and before (or alongside) AttachFlow.
+func (c *Checker) AttachNetwork(n *netem.Network) {
+	c.net = n
+	n.SetDebugPool(true)
+	c.sched.SetDebugPool(true)
+	for _, l := range n.Links() {
+		c.watchLink(l)
+	}
+}
+
+// AttachFlow chains the conformance rules for one flow onto its hooks.
+// protocol is the workload variant label (it selects the per-variant rule
+// set; the label matters because some variants — TD-FR — are structurally
+// indistinguishable from their base sender). Call after the sender is
+// attached (i.e. after workload.NewFlow or Flow.Attach).
+func (c *Checker) AttachFlow(f *tcp.Flow, protocol string) {
+	fs := newFlowState(c, f, protocol)
+	c.flows[f.ID] = fs
+	c.order = append(c.order, fs)
+	f.Hooks = tcp.FlowHooks{
+		OnDataSent: fs.onDataSent,
+		OnDataRecv: fs.onDataRecv,
+		OnAckSent:  fs.onAckSent,
+		OnAckRecv:  fs.onAckRecv,
+	}.Chain(f.Hooks)
+}
+
+// Finish evaluates the end-of-run rules: a final state probe per flow and
+// the quiescence side of conservation (nothing may have been received or
+// dropped more often than it was sent plus link-level duplication).
+func (c *Checker) Finish() {
+	for _, fs := range c.order {
+		fs.probe()
+		fs.checkConservation(true)
+	}
+	for _, w := range c.links {
+		w.check()
+		st := w.l.Stats()
+		if st.Delivered+st.Corrupted > st.Enqueued+st.Duplicated {
+			c.violatef(w.l.String(), "link-balance",
+				"delivered %d + corrupted %d exceeds enqueued %d + duplicated %d",
+				st.Delivered, st.Corrupted, st.Enqueued, st.Duplicated)
+		}
+	}
+}
+
+// dupSlack is the network-wide count of link-duplicated packet copies —
+// the only legitimate way for receive+drop counts to exceed send counts.
+func (c *Checker) dupSlack() uint64 {
+	if c.net == nil {
+		return 0
+	}
+	var d uint64
+	for _, l := range c.net.Links() {
+		d += l.Stats().Duplicated
+	}
+	return d
+}
+
+// linkWatch wraps one link's hooks with per-event consistency checks.
+type linkWatch struct {
+	c *Checker
+	l *netem.Link
+}
+
+func (c *Checker) watchLink(l *netem.Link) {
+	w := &linkWatch{c: c, l: l}
+	prevDrop, prevDeliver := l.OnDrop, l.OnDeliver
+	l.OnDrop = func(p *netem.Packet) {
+		w.onDrop(p)
+		if prevDrop != nil {
+			prevDrop(p)
+		}
+	}
+	l.OnDeliver = func(p *netem.Packet) {
+		w.check()
+		if prevDeliver != nil {
+			prevDeliver(p)
+		}
+	}
+	c.links = append(c.links, w)
+}
+
+// check verifies the link's counter algebra at an event boundary: queue
+// occupancy must equal enqueued−dequeued, and deliveries (plus corrupt
+// discards) can never exceed what entered the link.
+func (w *linkWatch) check() {
+	st := w.l.Stats()
+	if got, want := w.l.QueueLen(), int(st.Enqueued)-int(st.Dequeued); got != want {
+		w.c.violatef(w.l.String(), "link-queue",
+			"queue length %d != enqueued %d - dequeued %d", got, st.Enqueued, st.Dequeued)
+	}
+	if st.Delivered+st.Corrupted > st.Enqueued+st.Duplicated {
+		w.c.violatef(w.l.String(), "link-balance",
+			"delivered %d + corrupted %d exceeds enqueued %d + duplicated %d",
+			st.Delivered, st.Corrupted, st.Enqueued, st.Duplicated)
+	}
+}
+
+// onDrop attributes a terminal packet death to its flow. A packet dies at
+// most once (whichever link rejected or corrupted it); intermediate
+// deliveries are not terminal, so only the flow's own receive hooks count
+// the other end of the ledger.
+func (w *linkWatch) onDrop(p *netem.Packet) {
+	w.check()
+	fs := w.c.flows[p.Flow]
+	if fs == nil {
+		return // unattached (e.g. cross traffic)
+	}
+	switch p.Payload.(type) {
+	case tcp.Seg:
+		fs.dataDropped++
+	case tcp.Ack:
+		fs.ackDropped++
+	}
+	fs.checkConservation(false)
+}

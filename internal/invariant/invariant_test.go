@@ -1,0 +1,173 @@
+package invariant
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/metrics"
+	"tcppr/internal/netem"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+	"tcppr/internal/workload"
+)
+
+// runDumbbell runs one flow per protocol over a congested dumbbell with
+// the checker attached, and returns the checker after Finish.
+func runDumbbell(t *testing.T, protocols []string, dur time.Duration) *Checker {
+	t.Helper()
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: len(protocols), BottleneckBW: topo.Mbps(6)})
+	c := New(sched)
+	c.AttachNetwork(d.Net)
+	starts := workload.StaggeredStarts(len(protocols), 0, 2*time.Second)
+	pr := workload.PRParams{Alpha: 0.995, Beta: 3}
+	for i, proto := range protocols {
+		f := tcp.NewFlow(d.Net, i+1, d.Src(i), d.Dst(i),
+			routing.Static{Path: d.FwdPath(i)}, routing.Static{Path: d.RevPath(i)})
+		workload.NewFlow(f, proto, pr, starts[i])
+		c.AttachFlow(f, proto)
+	}
+	sched.RunUntil(sim.Time(dur))
+	c.Finish()
+	return c
+}
+
+// TestCleanDumbbellAllProtocols: every registered variant competing on one
+// congested bottleneck (drops, fast retransmit, timeouts) must produce
+// zero violations.
+func TestCleanDumbbellAllProtocols(t *testing.T) {
+	c := runDumbbell(t, workload.AllProtocols(), 25*time.Second)
+	if c.Total() != 0 {
+		t.Fatalf("clean run reported violations: %v", c.Err())
+	}
+}
+
+// TestCleanMultipathReordering: TCP-PR and TCP-SACK under ε=0 multipath —
+// persistent reordering is the paper's core scenario and the hardest case
+// for the retransmission-discipline rules.
+func TestCleanMultipathReordering(t *testing.T) {
+	for _, proto := range []string{workload.TCPPR, workload.TCPSACK, workload.NewReno} {
+		t.Run(proto, func(t *testing.T) {
+			sched := sim.NewScheduler()
+			m := topo.NewMultipath(sched, 3, 10*time.Millisecond)
+			c := New(sched)
+			c.AttachNetwork(m.Net)
+			f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst,
+				routing.NewEpsilon(m.FwdPaths, 0, sim.NewRand(1)),
+				routing.NewEpsilon(m.RevPaths, 0, sim.NewRand(2)))
+			workload.NewFlow(f, proto, workload.PRParams{Alpha: 0.995, Beta: 3}, 0)
+			c.AttachFlow(f, proto)
+			sched.RunUntil(sim.Time(20 * time.Second))
+			c.Finish()
+			if c.Total() != 0 {
+				t.Fatalf("clean multipath run reported violations: %v", c.Err())
+			}
+		})
+	}
+}
+
+// brokenSender violates the generic send discipline on purpose: every
+// transmission reuses TxSeq 7, and the last one carries a stale stamp.
+type brokenSender struct{ env tcp.SenderEnv }
+
+func (b *brokenSender) Start() {
+	now := b.env.Now()
+	b.env.Transmit(tcp.Seg{Seq: 1, TxSeq: 7, Stamp: now})
+	b.env.Transmit(tcp.Seg{Seq: 2, TxSeq: 7, Stamp: now})
+	b.env.Transmit(tcp.Seg{Seq: 3, TxSeq: 7, Stamp: now - sim.Time(time.Millisecond)})
+}
+
+func (b *brokenSender) OnAck(tcp.Ack) {}
+
+func brokenScenario() (*sim.Scheduler, *Checker) {
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	c := New(sched)
+	c.AttachNetwork(d.Net)
+	f := tcp.NewFlow(d.Net, 1, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
+	f.Attach(func(env tcp.SenderEnv) tcp.Sender { return &brokenSender{env: env} })
+	f.Start(0)
+	c.AttachFlow(f, "Broken")
+	return sched, c
+}
+
+// TestBrokenSenderDetected: a deliberately non-conformant sender must be
+// caught, with the rule names identifying what it did wrong.
+func TestBrokenSenderDetected(t *testing.T) {
+	sched, c := brokenScenario()
+	sched.RunUntil(sim.Time(time.Second))
+	c.Finish()
+	if c.Total() == 0 {
+		t.Fatal("broken sender produced no violations")
+	}
+	rules := make(map[string]int)
+	for _, v := range c.Violations() {
+		rules[v.Rule]++
+	}
+	if rules["txseq-monotone"] < 2 {
+		t.Errorf("want >=2 txseq-monotone violations, got %d (%v)", rules["txseq-monotone"], c.Violations())
+	}
+	if rules["stamp"] != 1 {
+		t.Errorf("want 1 stamp violation, got %d (%v)", rules["stamp"], c.Violations())
+	}
+	if c.Err() == nil {
+		t.Error("Err() = nil with recorded violations")
+	}
+}
+
+// TestViolationsMirroredToMetrics: with a registry attached, every
+// violation shows up under invariant.violations and its per-rule counter.
+func TestViolationsMirroredToMetrics(t *testing.T) {
+	sched, c := brokenScenario()
+	reg := metrics.New()
+	c.SetMetrics(reg)
+	sched.RunUntil(sim.Time(time.Second))
+	c.Finish()
+	if got, want := reg.Counter("invariant.violations").Value(), uint64(c.Total()); got != want {
+		t.Errorf("invariant.violations = %d, want %d", got, want)
+	}
+	if reg.Counter("invariant.violations.txseq-monotone").Value() == 0 {
+		t.Error("per-rule counter invariant.violations.txseq-monotone not incremented")
+	}
+}
+
+// TestConservationCatchesPhantomDrop: a drop reported for a packet the
+// flow never sent must trip the conservation ledger.
+func TestConservationCatchesPhantomDrop(t *testing.T) {
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	c := New(sched)
+	c.AttachNetwork(d.Net)
+	f := tcp.NewFlow(d.Net, 1, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
+	f.Attach(workload.Factory(workload.TCPSACK, workload.PRParams{}))
+	c.AttachFlow(f, workload.TCPSACK)
+
+	// Simulate a bookkeeping bug: the bottleneck reports a terminal drop
+	// of a data packet this flow never transmitted.
+	d.Bottleneck.OnDrop(&netem.Packet{Flow: 1, Payload: tcp.Seg{Seq: 42}})
+	if c.Total() == 0 {
+		t.Fatal("phantom drop not detected")
+	}
+	if c.Violations()[0].Rule != "conserve-data" {
+		t.Errorf("rule = %q, want conserve-data", c.Violations()[0].Rule)
+	}
+}
+
+// TestMaxRecordCapsStorage: the recording cap bounds memory, not the
+// total count.
+func TestMaxRecordCapsStorage(t *testing.T) {
+	sched, c := brokenScenario()
+	c.SetMaxRecord(1)
+	sched.RunUntil(sim.Time(time.Second))
+	c.Finish()
+	if c.Total() < 2 {
+		t.Fatalf("expected several violations, got %d", c.Total())
+	}
+	if len(c.Violations()) != 1 {
+		t.Errorf("recorded %d violations, cap was 1", len(c.Violations()))
+	}
+}

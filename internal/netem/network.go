@@ -2,10 +2,16 @@ package netem
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"tcppr/internal/sim"
 )
+
+// debugPoolEnv turns on pool-ownership checking for every new Network when
+// TCPPR_DEBUG_POOL is set in the environment; SetDebugPool overrides it per
+// network.
+var debugPoolEnv = os.Getenv("TCPPR_DEBUG_POOL") != ""
 
 // Network owns the nodes and links of one simulated topology and issues
 // packet IDs. All elements share a single sim.Scheduler.
@@ -18,17 +24,24 @@ import (
 // and delivery hooks and handlers must not retain the pointer beyond their
 // synchronous call.
 type Network struct {
-	sched  *sim.Scheduler
-	nodes  map[string]*Node
-	links  []*Link
-	nextID uint64
-	free   []*Packet
+	sched     *sim.Scheduler
+	nodes     map[string]*Node
+	links     []*Link
+	nextID    uint64
+	free      []*Packet
+	debugPool bool
 }
 
 // NewNetwork creates an empty topology bound to the given scheduler.
 func NewNetwork(sched *sim.Scheduler) *Network {
-	return &Network{sched: sched, nodes: make(map[string]*Node)}
+	return &Network{sched: sched, nodes: make(map[string]*Node), debugPool: debugPoolEnv}
 }
+
+// SetDebugPool enables (or disables) pool-ownership checking: recycling a
+// packet that is already on the free list panics instead of silently
+// corrupting the pool. The check is a single branch on the release path; it
+// defaults to the value of the TCPPR_DEBUG_POOL environment variable.
+func (n *Network) SetDebugPool(on bool) { n.debugPool = on }
 
 // Scheduler returns the scheduler shared by all elements of this network.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
@@ -50,6 +63,7 @@ func (n *Network) NewPacket() *Packet {
 	if k := len(n.free); k > 0 {
 		p := n.free[k-1]
 		n.free = n.free[:k-1]
+		p.pooled = false
 		return p
 	}
 	return &Packet{}
@@ -60,7 +74,11 @@ func (n *Network) NewPacket() *Packet {
 // slot's next occupant's old identity. Packets built by hand (tests) join
 // the pool too — the pool doesn't care where a packet was born.
 func (n *Network) release(p *Packet) {
+	if n.debugPool && p.pooled {
+		panic(fmt.Sprintf("netem: double release of packet id=%d flow=%d", p.ID, p.Flow))
+	}
 	*p = Packet{}
+	p.pooled = true // after zeroing: the flag must survive on the free list
 	n.free = append(n.free, p)
 }
 

@@ -41,6 +41,9 @@ type Packet struct {
 	// consumed at delivery, where the packet is discarded instead of
 	// handed on.
 	corrupt bool
+	// pooled marks a packet sitting on the network's free list; the
+	// debug-mode release path uses it to panic on double release.
+	pooled bool
 }
 
 // NextLink returns the next link on the packet's source route, or nil if

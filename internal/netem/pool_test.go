@@ -117,6 +117,29 @@ func TestPacketPoolUnderDuplication(t *testing.T) {
 	}
 }
 
+// TestPacketPoolDoubleReleasePanics proves the debug-mode ownership check
+// fires: recycling the same packet twice must panic rather than list the
+// slot twice and alias two future in-flight packets.
+func TestPacketPoolDoubleReleasePanics(t *testing.T) {
+	s := sim.NewScheduler()
+	net := NewNetwork(s)
+	net.SetDebugPool(true)
+	l := net.AddLink("a", "b", 10_000_000, time.Millisecond, 100)
+	net.Node("b").Handle(1, func(*Packet) {})
+
+	p := net.NewPacket()
+	p.Flow, p.Size, p.Path = 1, 1000, []*Link{l}
+	net.Send(p)
+	s.Run() // delivery recycles p onto the free list
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic with debug pool checking on")
+		}
+	}()
+	net.release(p)
+}
+
 // TestPacketPoolZeroesRecycledPackets: a recycled packet must come back
 // blank — leaking the previous occupant's route or payload through
 // NewPacket would be a debugging nightmare.

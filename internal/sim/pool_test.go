@@ -112,6 +112,44 @@ func TestSchedulerHandleSelfCancelDuringFire(t *testing.T) {
 	s.Run()
 }
 
+// TestDebugPoolDoubleReleasePanics proves the debug-mode ownership check
+// actually fires: releasing the same event twice must panic instead of
+// putting the slot on the free list twice (which would hand the same
+// *Event to two future schedule calls).
+func TestDebugPoolDoubleReleasePanics(t *testing.T) {
+	s := NewScheduler()
+	s.SetDebugPool(true)
+	s.After(time.Millisecond, func() {})
+	if !s.Step() {
+		t.Fatal("event did not run")
+	}
+	e := s.free[len(s.free)-1] // the slot Step just recycled
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic with debug pool checking on")
+		}
+	}()
+	s.release(e)
+}
+
+// TestDebugPoolOffDoubleReleaseSilent pins the default: without the debug
+// flag the release path stays branch-cheap and does not panic (the test
+// repairs the duplicated slot immediately so nothing else trips on it).
+func TestDebugPoolOffDoubleReleaseSilent(t *testing.T) {
+	s := NewScheduler()
+	s.SetDebugPool(false)
+	s.After(time.Millisecond, func() {})
+	s.Step()
+	e := s.free[len(s.free)-1]
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("release panicked with debug checking off: %v", r)
+		}
+	}()
+	s.release(e)
+	s.free = s.free[:1] // undo the duplicate entry
+}
+
 func TestTimerRearmAndStop(t *testing.T) {
 	s := NewScheduler()
 	fired := 0

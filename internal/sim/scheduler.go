@@ -21,8 +21,14 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"os"
 	"time"
 )
+
+// debugPoolEnv turns on pool-ownership checking for every new Scheduler
+// when TCPPR_DEBUG_POOL is set in the environment; SetDebugPool overrides
+// it per scheduler.
+var debugPoolEnv = os.Getenv("TCPPR_DEBUG_POOL") != ""
 
 // Time is a virtual timestamp measured from the start of the simulation.
 // It reuses time.Duration so arithmetic with durations is natural and
@@ -40,7 +46,8 @@ type Event struct {
 	fnArg    func(any)
 	arg      any
 	canceled bool
-	index    int // position in the heap, -1 once popped
+	pooled   bool // on the free list (debug-mode double-release check)
+	index    int  // position in the heap, -1 once popped
 }
 
 // Handle identifies one scheduled occurrence of an event. The zero Handle
@@ -91,13 +98,21 @@ type Scheduler struct {
 	events    eventHeap
 	free      []*Event
 	processed uint64
+	debugPool bool
 }
 
 // NewScheduler returns a Scheduler with the clock at zero and no pending
 // events.
 func NewScheduler() *Scheduler {
-	return &Scheduler{events: make(eventHeap, 0, 1024)}
+	return &Scheduler{events: make(eventHeap, 0, 1024), debugPool: debugPoolEnv}
 }
+
+// SetDebugPool enables (or disables) pool-ownership checking: releasing an
+// event that is already on the free list panics instead of silently
+// corrupting the pool. The check is a single branch on the release path, so
+// leaving it on costs essentially nothing; it defaults to the value of the
+// TCPPR_DEBUG_POOL environment variable.
+func (s *Scheduler) SetDebugPool(on bool) { s.debugPool = on }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -138,6 +153,7 @@ func (s *Scheduler) schedule(t Time, fn func(), fnArg func(any), arg any) Handle
 		e = &Event{}
 	}
 	e.gen++
+	e.pooled = false
 	e.at = t
 	e.seq = s.seq
 	e.fn = fn
@@ -152,6 +168,10 @@ func (s *Scheduler) schedule(t Time, fn func(), fnArg func(any), arg any) Handle
 // release returns a popped event to the free list, dropping callback and
 // argument references so the pool does not pin dead objects.
 func (s *Scheduler) release(e *Event) {
+	if s.debugPool && e.pooled {
+		panic(fmt.Sprintf("sim: double release of event (at=%v seq=%d gen=%d)", e.at, e.seq, e.gen))
+	}
+	e.pooled = true
 	e.fn = nil
 	e.fnArg = nil
 	e.arg = nil

@@ -1,0 +1,144 @@
+package tcp
+
+import (
+	"testing"
+)
+
+// FuzzIntervalSet interprets the fuzz input as a little op program against
+// an IntervalSet and cross-checks every observation against a brute-force
+// map-of-sequences reference model. Sequence space is folded into a small
+// window (0..63) so the fuzzer actually produces overlapping, adjacent,
+// and nested intervals instead of sparse noise, and the reference map
+// stays cheap.
+//
+// Ops are encoded three bytes at a time: opcode, argument a, argument b.
+//
+//	go test -run '^$' -fuzz FuzzIntervalSet -fuzztime 30s ./internal/tcp
+func FuzzIntervalSet(f *testing.F) {
+	f.Add([]byte{0, 3, 9})                            // one Add
+	f.Add([]byte{0, 3, 9, 0, 9, 12, 0, 1, 3})         // adjacent merges
+	f.Add([]byte{0, 5, 20, 0, 8, 11, 1, 8, 0})        // nested Add + Contains
+	f.Add([]byte{0, 0, 10, 4, 5, 0, 0, 3, 8})         // DropBelow then re-Add
+	f.Add([]byte{0, 2, 6, 0, 10, 14, 2, 4, 12, 3, 7}) // gaps: ContainsRange, CountAbove
+	f.Add([]byte{0, 1, 4, 5, 0, 0, 0, 1, 4})          // Clear then re-Add
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const window = 64
+		var s IntervalSet
+		ref := make(map[int64]bool)
+
+		refAdd := func(start, end int64) bool {
+			added := false
+			for q := start; q < end; q++ {
+				if !ref[q] {
+					ref[q] = true
+					added = true
+				}
+			}
+			return added
+		}
+
+		for pc := 0; pc+2 < len(program); pc += 3 {
+			op := program[pc] % 6
+			a := int64(program[pc+1] % window)
+			b := int64(program[pc+2] % window)
+			switch op {
+			case 0: // Add
+				got := s.Add(a, b)
+				want := false
+				if a < b {
+					want = refAdd(a, b)
+				}
+				if got != want {
+					t.Fatalf("Add(%d,%d) = %v, want %v", a, b, got, want)
+				}
+			case 1: // Contains
+				if got := s.Contains(a); got != ref[a] {
+					t.Fatalf("Contains(%d) = %v, want %v", a, got, ref[a])
+				}
+			case 2: // ContainsRange
+				want := true
+				for q := a; q < b; q++ {
+					if !ref[q] {
+						want = false
+						break
+					}
+				}
+				if got := s.ContainsRange(a, b); got != want {
+					t.Fatalf("ContainsRange(%d,%d) = %v, want %v", a, b, got, want)
+				}
+			case 3: // CountAbove + NextGapAbove
+				var want int64
+				for q := range ref {
+					if q > a {
+						want++
+					}
+				}
+				if got := s.CountAbove(a); got != want {
+					t.Fatalf("CountAbove(%d) = %d, want %d", a, got, want)
+				}
+				gap := a
+				for ref[gap] {
+					gap++
+				}
+				if got := s.NextGapAbove(a); got != gap {
+					t.Fatalf("NextGapAbove(%d) = %d, want %d", a, got, gap)
+				}
+			case 4: // DropBelow
+				s.DropBelow(a)
+				for q := range ref {
+					if q < a {
+						delete(ref, q)
+					}
+				}
+			case 5: // Clear
+				s.Clear()
+				ref = make(map[int64]bool)
+			}
+			checkIntervalSet(t, &s, ref)
+		}
+	})
+}
+
+// checkIntervalSet verifies the set's structural invariants and its global
+// observations (Len, Min, Max, block contents) against the reference.
+func checkIntervalSet(t *testing.T, s *IntervalSet, ref map[int64]bool) {
+	t.Helper()
+	blocks := s.Blocks()
+	var inBlocks int64
+	for i, b := range blocks {
+		if b.Start >= b.End {
+			t.Fatalf("block %d malformed: %+v", i, b)
+		}
+		if i > 0 && blocks[i-1].End >= b.Start {
+			t.Fatalf("blocks %d,%d overlap or touch: %+v %+v", i-1, i, blocks[i-1], b)
+		}
+		for q := b.Start; q < b.End; q++ {
+			if !ref[q] {
+				t.Fatalf("set contains %d, reference does not", q)
+			}
+		}
+		inBlocks += b.Len()
+	}
+	if want := int64(len(ref)); inBlocks != want || s.Len() != want {
+		t.Fatalf("Len() = %d, blocks hold %d, reference holds %d", s.Len(), inBlocks, want)
+	}
+	min, okMin := s.Min()
+	max, okMax := s.Max()
+	if okMin != (len(ref) > 0) || okMax != (len(ref) > 0) {
+		t.Fatalf("Min/Max ok = %v/%v with %d elements", okMin, okMax, len(ref))
+	}
+	if len(ref) > 0 {
+		wantMin, wantMax := int64(1<<62), int64(-1)
+		for q := range ref {
+			if q < wantMin {
+				wantMin = q
+			}
+			if q > wantMax {
+				wantMax = q
+			}
+		}
+		if min != wantMin || max != wantMax {
+			t.Fatalf("Min/Max = %d/%d, want %d/%d", min, max, wantMin, wantMax)
+		}
+	}
+}

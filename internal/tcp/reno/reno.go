@@ -165,6 +165,13 @@ func (s *Sender) InRecovery() bool { return s.inRecovery }
 // SRTT returns the smoothed RTT estimate.
 func (s *Sender) SRTT() time.Duration { return s.rto.SRTT() }
 
+// RTO returns the current retransmission timeout (with back-off applied).
+func (s *Sender) RTO() time.Duration { return s.rto.RTO() }
+
+// RTOBounds returns the estimator's [min, max] clamp, for conformance
+// checking.
+func (s *Sender) RTOBounds() (min, max time.Duration) { return s.rto.Min(), s.rto.Max() }
+
 // RestoreState reinstates a previously recorded congestion state (see
 // Config.OnReduction): the window slow-starts back up to the restored
 // cwnd rather than jumping, following [3]'s burst-avoidance advice. Any

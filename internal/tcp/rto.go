@@ -100,6 +100,13 @@ func (e *RTOEstimator) Backoff() {
 // SRTT returns the smoothed RTT estimate (zero before the first sample).
 func (e *RTOEstimator) SRTT() time.Duration { return e.srtt }
 
+// Min returns the estimator's lower RTO bound (the RFC 6298 1 s floor by
+// default). Conformance checkers use it to validate RTO() online.
+func (e *RTOEstimator) Min() time.Duration { return e.minRTO }
+
+// Max returns the estimator's upper RTO bound (64 s by default).
+func (e *RTOEstimator) Max() time.Duration { return e.maxRTO }
+
 // HasSample reports whether at least one RTT sample has been absorbed.
 func (e *RTOEstimator) HasSample() bool { return e.hasRTT }
 

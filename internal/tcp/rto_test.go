@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"tcppr/internal/sim"
 )
 
 func TestRTOInitialValue(t *testing.T) {
@@ -119,5 +121,72 @@ func TestSendTimesKarn(t *testing.T) {
 	}
 	if at, ok := st.SentAt(2); !ok || at != 5000 {
 		t.Error("Forget(2) should keep seq 2")
+	}
+}
+
+// TestRTOTimerRearmMigration drives an RTOEstimator through a sim.Timer
+// the way a sender's retransmission timer does: every cumulative advance
+// re-arms the timer at now+RTO, and backoff pushes the deadline out. The
+// stale deadlines left behind by each Reset must never fire, and the
+// surviving deadline must track the estimator exactly.
+func TestRTOTimerRearmMigration(t *testing.T) {
+	s := sim.NewScheduler()
+	e := NewRTOEstimator(0, 0, 0)
+	var fired []sim.Time
+	tm := sim.NewTimer(s, func() { fired = append(fired, s.Now()) })
+
+	// t=0: first segment out, timer armed at the initial conservative RTO.
+	tm.Reset(sim.Time(e.RTO()))
+	if got := tm.At(); got != sim.Time(DefaultInitialRTO) {
+		t.Fatalf("armed at %v, want %v", got, DefaultInitialRTO)
+	}
+
+	// t=100ms: ACK arrives, sample taken, timer migrates to now+RTO. The
+	// old deadline (3s) is cancelled, not left to fire.
+	s.At(sim.Time(100*time.Millisecond), func() {
+		e.OnSample(100 * time.Millisecond)
+		tm.ResetAfter(e.RTO())
+	})
+	// t=300ms: another ACK, another migration.
+	s.At(sim.Time(300*time.Millisecond), func() {
+		e.OnSample(100 * time.Millisecond)
+		tm.ResetAfter(e.RTO())
+	})
+	s.RunUntil(sim.Time(time.Second))
+	if len(fired) != 0 {
+		t.Fatalf("timer fired at %v before the live deadline", fired)
+	}
+	if want := sim.Time(300*time.Millisecond) + sim.Time(e.RTO()); tm.At() != want {
+		t.Fatalf("deadline = %v, want %v", tm.At(), want)
+	}
+
+	// The surviving deadline fires exactly once, and re-arming from inside
+	// the callback (the timeout-retransmit path: back off, send, re-arm)
+	// keeps the timer usable.
+	deadline := tm.At()
+	s.RunUntil(deadline)
+	if len(fired) != 1 || fired[0] != deadline {
+		t.Fatalf("fired = %v, want exactly [%v]", fired, deadline)
+	}
+	e.Backoff()
+	tm.ResetAfter(e.RTO())
+	backedOff := tm.At()
+	if got := backedOff - deadline; time.Duration(got) != e.RTO() {
+		t.Fatalf("backoff deadline %v after fire, want %v", time.Duration(got), e.RTO())
+	}
+	// Stop before the backed-off deadline: nothing further fires, and a
+	// later Reset still works (Karn: next sample restores the clean RTO).
+	if !tm.Stop() {
+		t.Fatal("Stop() on an armed timer reported nothing pending")
+	}
+	s.RunUntil(backedOff + sim.Time(time.Second))
+	if len(fired) != 1 {
+		t.Fatalf("stopped timer fired again: %v", fired)
+	}
+	tm.ResetAfter(e.RTO())
+	end := tm.At()
+	s.RunUntil(end)
+	if len(fired) != 2 || fired[1] != end {
+		t.Fatalf("re-armed-after-Stop fire = %v, want second fire at %v", fired, end)
 	}
 }

@@ -159,6 +159,13 @@ func (s *Sender) DupThresh() int { return s.dupThresh }
 // SRTT returns the smoothed RTT estimate.
 func (s *Sender) SRTT() time.Duration { return s.rto.SRTT() }
 
+// RTO returns the current retransmission timeout (with back-off applied).
+func (s *Sender) RTO() time.Duration { return s.rto.RTO() }
+
+// RTOBounds returns the estimator's [min, max] clamp, for conformance
+// checking.
+func (s *Sender) RTOBounds() (min, max time.Duration) { return s.rto.Min(), s.rto.Max() }
+
 // Start implements tcp.Sender.
 func (s *Sender) Start() { s.fillWindow() }
 
