@@ -3,7 +3,8 @@
 // Usage:
 //
 //	experiments [-run name] [-fig n] [-list] [-quick] [-csv dir]
-//	            [-metrics dir] [-parallel n] [-seed n] [-check]
+//	            [-metrics dir] [-trace dir] [-flight-recorder]
+//	            [-parallel n] [-seed n] [-check]
 //	            [-fuzz n] [-fuzz-seed n]
 //	            [-cpuprofile file] [-memprofile file]
 //
@@ -21,12 +22,20 @@
 // simulation cells (default: one per CPU); use -parallel 1 together with
 // -cpuprofile for cleanly attributable profiles.
 //
+// With -trace the trace-aware experiments (currently faultmatrix) also
+// write one Perfetto-loadable Chrome trace (<cell>.trace.json) and one
+// span TSV (<cell>.spans.tsv) per simulation cell into the directory; see
+// TRACING.md.
+//
 // -check attaches the internal/invariant conformance oracle to every
 // simulation cell; any violation fails the run with a nonzero exit.
 // -fuzz N runs N randomized invariant-checked scenarios (topology ×
 // protocol mix × fault timeline) instead of the figure experiments, and
 // -fuzz-seed S replays exactly one such scenario by seed — the seed a
-// failed fuzz run prints.
+// failed fuzz run prints. -flight-recorder arms the internal/span flight
+// recorder: during fuzz runs and seed replays every violation dumps the
+// causal trail of the implicated packet to stderr, and with -trace each
+// cell's dumps land in <cell>.flight.txt.
 package main
 
 import (
@@ -53,6 +62,8 @@ func main() {
 	check := flag.Bool("check", false, "attach the invariant oracle to every cell; violations fail the run")
 	fuzz := flag.Int("fuzz", 0, "run N randomized invariant-checked scenarios instead of experiments")
 	fuzzSeed := flag.Int64("fuzz-seed", 0, "replay one fuzz scenario by seed and report its violations")
+	traceDir := flag.String("trace", "", "directory to write per-cell Perfetto traces + span TSVs into (faultmatrix)")
+	flightRec := flag.Bool("flight-recorder", false, "arm the flight recorder: violations dump causal trails (with -trace or -fuzz/-fuzz-seed)")
 	prof := profiling.Register()
 	flag.Parse()
 
@@ -64,11 +75,11 @@ func main() {
 	}
 
 	if *fuzzSeed != 0 {
-		replayFuzz(*fuzzSeed)
+		replayFuzz(*fuzzSeed, *flightRec)
 		return
 	}
 	if *fuzz > 0 {
-		runFuzz(*fuzz, *seed)
+		runFuzz(*fuzz, *seed, *flightRec)
 		return
 	}
 
@@ -92,6 +103,12 @@ func main() {
 			fatal(err)
 		}
 		cfg.Metrics = &experiments.MetricsOptions{Dir: *metricsDir}
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+		cfg.Trace = &experiments.TraceOptions{Dir: *traceDir, FlightRecorder: *flightRec}
 	}
 
 	var specs []experiments.Spec
@@ -129,11 +146,14 @@ func main() {
 
 // runFuzz runs a fuzzing campaign of n randomized scenarios. Any
 // violation prints with the scenario's replay seed and exits nonzero.
-func runFuzz(n int, seed int64) {
+func runFuzz(n int, seed int64, flightRec bool) {
 	cfg := fuzzer.Config{
 		Runs: n,
 		Seed: seed,
 		Log:  func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	}
+	if flightRec {
+		cfg.FlightRecorder = os.Stderr
 	}
 	res := fuzzer.Run(cfg)
 	if err := res.Err(); err != nil {
@@ -146,9 +166,14 @@ func runFuzz(n int, seed int64) {
 }
 
 // replayFuzz re-runs the single scenario identified by seed and reports
-// every violation the oracle records.
-func replayFuzz(seed int64) {
-	desc, c := fuzzer.RunOne(seed, fuzzer.Config{})
+// every violation the oracle records. With the flight recorder armed, each
+// violation also dumps the causal trail of the implicated packet.
+func replayFuzz(seed int64, flightRec bool) {
+	cfg := fuzzer.Config{}
+	if flightRec {
+		cfg.FlightRecorder = os.Stderr
+	}
+	desc, c := fuzzer.RunOne(seed, cfg)
 	fmt.Printf("seed %d: %s\n", seed, desc)
 	if c.Total() == 0 {
 		fmt.Println("no violations")

@@ -47,6 +47,9 @@ func main() {
 	faultName := flag.String("faults", "", "canned fault scenario to inject at the bottleneck ('list' to enumerate)")
 	faultAt := flag.Duration("fault-at", 5*time.Second, "when the fault scenario's disruption begins")
 	check := flag.Bool("check", false, "attach the invariant oracle; violations fail the run")
+	traceJSON := flag.String("trace", "", "write a Perfetto-loadable Chrome trace (ui.perfetto.dev) to this file")
+	traceTSV := flag.String("trace-tsv", "", "write the hop-level span TSV to this file")
+	flightPath := flag.String("flight-recorder", "", "arm the flight recorder; dumps (violations, panics) go to this file")
 	prof := profiling.Register()
 	flag.Parse()
 
@@ -73,15 +76,16 @@ func main() {
 		fatalErr(err)
 	}
 
+	paths := tracePaths{json: *traceJSON, tsv: *traceTSV, flight: *flightPath}
 	switch *topology {
 	case "dumbbell", "parkinglot":
-		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, *faultName, *faultAt, *seed, *check)
+		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, *faultName, *faultAt, *seed, *check, paths)
 	case "multipath":
 		if *faultName != "" {
 			fmt.Fprintln(os.Stderr, "tcpsim: -faults targets a bottleneck and supports dumbbell|parkinglot only")
 			os.Exit(1)
 		}
-		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir, *check)
+		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir, *check, paths)
 	default:
 		fmt.Fprintf(os.Stderr, "tcpsim: unknown topology %q\n", *topology)
 		os.Exit(1)
@@ -92,7 +96,18 @@ func main() {
 	}
 }
 
-func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir, faultName string, faultAt time.Duration, seed int64, check bool) {
+// tracePaths carries the -trace/-trace-tsv/-flight-recorder output files.
+type tracePaths struct {
+	json, tsv, flight string
+}
+
+// suffixed returns a copy with the suffix inserted before each extension
+// (multipath mode: one simulation, and file set, per protocol).
+func (p tracePaths) suffixed(s string) tracePaths {
+	return tracePaths{json: suffixPath(p.json, s), tsv: suffixPath(p.tsv, s), flight: suffixPath(p.flight, s)}
+}
+
+func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir, faultName string, faultAt time.Duration, seed int64, check bool, paths tracePaths) {
 	sched := sim.NewScheduler()
 	var flowsOut []*workload.Flow
 	var bottlenecks []*netem.Link
@@ -134,6 +149,9 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 	ob := newObserver(metricsDir, name, sched)
 	ob.observe(flowsOut, bottlenecks)
 	ck := newChecker(check, sched, network, flowsOut, ob)
+	tr := newTracer(paths.json, paths.tsv, paths.flight, sched, network, flowsOut)
+	defer tr.dumpOnPanic()
+	tr.armChecker(ck)
 
 	// Scripted faults hit the first bottleneck hop (both directions).
 	var tl *faults.Timeline
@@ -148,6 +166,7 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		if ob != nil {
 			tl.Instrument(ob.reg)
 		}
+		tr.armTimeline(tl)
 		sc.Build(tl, fwd, rev, faultAt, seed)
 		tl.Install(sched)
 		fmt.Printf("faults: scenario %q on %s starting at %v (%s)\n\n", sc.Name, fwd, faultAt, sc.Description)
@@ -163,29 +182,40 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		}
 	}
 	ob.finish(topology, seed, map[string]float64{"flows": float64(n)}, warm+dur)
+	tr.finish()
 	finishChecker(ck)
 }
 
-func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string, check bool) {
+func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string, check bool, paths tracePaths) {
 	// One flow at a time per protocol, matching the paper's Fig 6 setup.
 	fmt.Printf("multipath: eps=%g delay=%v (one flow per protocol, separate runs)\n\n", eps, delay)
 	for _, proto := range protos {
-		sched := sim.NewScheduler()
-		m := topo.NewMultipath(sched, 3, delay)
-		fwd := routing.NewEpsilon(m.FwdPaths, eps, sim.NewRand(sim.SplitSeed(seed, 1)))
-		rev := routing.NewEpsilon(m.RevPaths, eps, sim.NewRand(sim.SplitSeed(seed, 2)))
-		f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst, fwd, rev)
-		wf := workload.NewFlow(f, proto, pr, 0)
-		ob := newObserver(metricsDir, "tcpsim_multipath_"+proto, sched)
-		ob.observe([]*workload.Flow{wf}, m.Net.Links())
-		ck := newChecker(check, sched, m.Net, []*workload.Flow{wf}, ob)
-		wf.MarkWindow(sched, warm, warm+dur)
-		sched.RunUntil(warm + dur)
-		mbps := stats.Mbps(stats.Throughput(wf.WindowBytes(), dur))
-		fmt.Printf("%-10s %7.2f Mbps (retx %d of %d sent)\n", proto, mbps, f.DataRetx(), f.DataSent())
-		ob.finish("multipath", seed, map[string]float64{"eps": eps, "delay_ms": float64(delay.Milliseconds())}, warm+dur)
-		finishChecker(ck)
+		runMultipathOne(proto, pr, eps, delay, seed, warm, dur, metricsDir, check, paths.suffixed(proto))
 	}
+}
+
+// runMultipathOne runs one protocol's multipath cell; its own function so
+// the tracer's panic hook covers exactly one simulation.
+func runMultipathOne(proto string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string, check bool, paths tracePaths) {
+	sched := sim.NewScheduler()
+	m := topo.NewMultipath(sched, 3, delay)
+	fwd := routing.NewEpsilon(m.FwdPaths, eps, sim.NewRand(sim.SplitSeed(seed, 1)))
+	rev := routing.NewEpsilon(m.RevPaths, eps, sim.NewRand(sim.SplitSeed(seed, 2)))
+	f := tcp.NewFlow(m.Net, 1, m.Src, m.Dst, fwd, rev)
+	wf := workload.NewFlow(f, proto, pr, 0)
+	ob := newObserver(metricsDir, "tcpsim_multipath_"+proto, sched)
+	ob.observe([]*workload.Flow{wf}, m.Net.Links())
+	ck := newChecker(check, sched, m.Net, []*workload.Flow{wf}, ob)
+	tr := newTracer(paths.json, paths.tsv, paths.flight, sched, m.Net, []*workload.Flow{wf})
+	defer tr.dumpOnPanic()
+	tr.armChecker(ck)
+	wf.MarkWindow(sched, warm, warm+dur)
+	sched.RunUntil(warm + dur)
+	mbps := stats.Mbps(stats.Throughput(wf.WindowBytes(), dur))
+	fmt.Printf("%-10s %7.2f Mbps (retx %d of %d sent)\n", proto, mbps, f.DataRetx(), f.DataSent())
+	ob.finish("multipath", seed, map[string]float64{"eps": eps, "delay_ms": float64(delay.Milliseconds())}, warm+dur)
+	tr.finish()
+	finishChecker(ck)
 }
 
 // newChecker attaches the conformance oracle to the run when -check is

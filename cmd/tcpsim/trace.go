@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tcppr/internal/faults"
+	"tcppr/internal/invariant"
+	"tcppr/internal/netem"
+	"tcppr/internal/sim"
+	"tcppr/internal/span"
+	"tcppr/internal/workload"
+)
+
+// tracer bundles one run's causal-tracing stack: a span.Collector observing
+// the network and flows, the export paths, and (when -flight-recorder is
+// set) an armed FlightRecorder streaming dumps to its own file.
+type tracer struct {
+	jsonPath, tsvPath, flightPath string
+	c                             *span.Collector
+	fr                            *span.FlightRecorder
+	ff                            *os.File
+}
+
+// newTracer returns nil (a no-op tracer) when no trace output is requested.
+func newTracer(jsonPath, tsvPath, flightPath string, sched *sim.Scheduler, net *netem.Network, flows []*workload.Flow) *tracer {
+	if jsonPath == "" && tsvPath == "" && flightPath == "" {
+		return nil
+	}
+	tr := &tracer{jsonPath: jsonPath, tsvPath: tsvPath, flightPath: flightPath, c: span.New(sched, 0)}
+	tr.c.AttachNetwork(net)
+	for _, f := range flows {
+		tr.c.AttachFlow(f.Flow, f.Protocol)
+	}
+	if flightPath != "" {
+		if err := os.MkdirAll(filepath.Dir(flightPath), 0o755); err != nil {
+			fatalErr(err)
+		}
+		ff, err := os.Create(flightPath)
+		if err != nil {
+			fatalErr(err)
+		}
+		tr.ff = ff
+		tr.fr = span.NewFlightRecorder(tr.c, ff)
+	}
+	return tr
+}
+
+// armChecker makes invariant violations dump the implicated packet's
+// causal trail into the flight file.
+func (t *tracer) armChecker(ck *invariant.Checker) {
+	if t == nil || t.fr == nil || ck == nil {
+		return
+	}
+	t.fr.ArmChecker(ck)
+}
+
+// armTimeline records applied faults as trace events (they mark the
+// Perfetto timeline; scripted faults are expected, so they don't dump).
+func (t *tracer) armTimeline(tl *faults.Timeline) {
+	if t == nil || tl == nil {
+		return
+	}
+	if t.fr != nil {
+		t.fr.ArmTimeline(tl)
+		return
+	}
+	prev := tl.OnEvent
+	c := t.c
+	tl.OnEvent = func(ev faults.Event) {
+		if prev != nil {
+			prev(ev)
+		}
+		c.FaultApplied(ev.At, ev.Link, string(ev.Kind)+": "+ev.Note)
+	}
+}
+
+// dumpOnPanic is the run's crash hook: defer it right after newTracer. It
+// must be the deferred function itself (recover only works there); on a
+// panic it writes a forced flight dump and re-panics.
+func (t *tracer) dumpOnPanic() {
+	if t == nil || t.fr == nil {
+		return
+	}
+	if r := recover(); r != nil {
+		t.fr.Dump(fmt.Sprintf("panic: %v", r))
+		t.ff.Close()
+		panic(r)
+	}
+}
+
+// finish writes the requested exports and closes the flight file.
+func (t *tracer) finish() {
+	if t == nil {
+		return
+	}
+	if t.jsonPath != "" {
+		writeTraceFile(t.jsonPath, t.c.WriteChromeTrace)
+		fmt.Printf("trace: wrote %s (%d of %d events retained)\n", t.jsonPath, len(t.c.Events()), t.c.Emitted())
+	}
+	if t.tsvPath != "" {
+		writeTraceFile(t.tsvPath, func(w io.Writer) error { return span.WriteTSV(w, t.c.Events()) })
+		fmt.Printf("trace: wrote %s\n", t.tsvPath)
+	}
+	if t.ff != nil {
+		if err := t.ff.Close(); err != nil {
+			fatalErr(err)
+		}
+		fmt.Printf("flight recorder: %d dump(s) in %s\n", t.fr.Dumps(), t.flightPath)
+	}
+}
+
+func writeTraceFile(path string, write func(io.Writer) error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fatalErr(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalErr(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalErr(err)
+	}
+	if err := f.Close(); err != nil {
+		fatalErr(err)
+	}
+}
+
+// suffixPath inserts a suffix before the path's extension:
+// trace.json + TCP-PR → trace_TCP-PR.json. Multipath mode runs one
+// simulation per protocol, so each run gets its own files.
+func suffixPath(path, suffix string) string {
+	if path == "" {
+		return ""
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "_" + suffix + ext
+}

@@ -6,17 +6,28 @@
 //
 //	tcptrace -protocol TCP-PR -scenario multipath -eps 0 -duration 10s -out trace.tsv
 //	tcptrace -protocol TCP-SACK -scenario jitter -duration 10s
+//
+// Two converter modes operate on files instead of running a simulation:
+//
+//	tcptrace -perfetto results/golden/TCP-PR.tsv -out pr.trace.json
+//	    converts an endpoint trace TSV (-out or golden format) into
+//	    Chrome trace-event JSON loadable at ui.perfetto.dev
+//	tcptrace -validate run.trace.json
+//	    checks a Chrome trace for well-formedness (monotone timestamps,
+//	    matched span pairs) and exits nonzero on failure
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"tcppr/internal/routing"
 	"tcppr/internal/sim"
+	"tcppr/internal/span"
 	"tcppr/internal/stats"
 	"tcppr/internal/tcp"
 	"tcppr/internal/topo"
@@ -33,7 +44,18 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "simulated duration")
 	out := flag.String("out", "", "write the full event trace TSV to this file")
 	seed := flag.Int64("seed", 42, "random seed")
+	perfetto := flag.String("perfetto", "", "convert this endpoint trace TSV to Chrome trace JSON (-out or stdout) and exit")
+	validate := flag.String("validate", "", "validate this Chrome trace JSON file and exit")
 	flag.Parse()
+
+	if *validate != "" {
+		runValidate(*validate)
+		return
+	}
+	if *perfetto != "" {
+		runPerfetto(*perfetto, *out)
+		return
+	}
 
 	if !workload.Known(*protocol) {
 		fmt.Fprintf(os.Stderr, "tcptrace: unknown protocol %q (known: %s)\n",
@@ -94,4 +116,47 @@ func main() {
 		}
 		fmt.Printf("trace written:   %s\n", *out)
 	}
+}
+
+// runPerfetto converts an endpoint trace TSV into Chrome trace-event JSON.
+func runPerfetto(in, out string) {
+	f, err := os.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := os.Stdout
+	if out != "" {
+		w, err = os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+	}
+	name := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+	if err := span.ConvertEndpointTSV(f, w, name); err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		fmt.Printf("converted %s -> %s (load at ui.perfetto.dev)\n", in, out)
+	}
+}
+
+// runValidate checks a Chrome trace file and exits nonzero on failure.
+func runValidate(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := span.ValidateChromeTrace(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("%s: ok (%d events)\n", path, n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcptrace:", err)
+	os.Exit(1)
 }

@@ -26,6 +26,19 @@ func TestSuiteNamesCoverBaseline(t *testing.T) {
 	}
 }
 
+// TestSpanDetachedZeroAllocs is the tracing-overhead gate: with no
+// collector attached, the span observer seam must leave the per-packet
+// forwarding path at exactly 0 allocs/op.
+func TestSpanDetachedZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate in -short mode")
+	}
+	r := testing.Benchmark(benchSpanDetached)
+	if got := r.AllocsPerOp(); got != 0 {
+		t.Fatalf("detached forwarding allocates %d allocs/op, want 0", got)
+	}
+}
+
 func TestRegressions(t *testing.T) {
 	art := Artifact{
 		Baseline: []Measurement{{Name: "x", AllocsPerOp: 10}},

@@ -227,6 +227,8 @@ type Sender struct {
 	dupTicks      int      // duplicate ACKs since the last cumulative advance (flight accounting)
 	holeStart     sim.Time // when the current hole opened (first duplicate)
 
+	probe tcp.SenderProbe // nil unless a tracer attached (SetProbe)
+
 	pausedUntil sim.Time // extreme-loss send pause
 	resumeTimer *sim.Timer
 	checkDropFn func(any) // prebound trampoline for per-packet loss timers
@@ -277,6 +279,17 @@ func New(env tcp.SenderEnv, cfg Config) *Sender {
 func (s *Sender) checkDropEvent(arg any) { s.checkDrop(arg.(*flight).seq) }
 
 var _ tcp.Sender = (*Sender)(nil)
+var _ tcp.ProbeSetter = (*Sender)(nil)
+
+// SetProbe implements tcp.ProbeSetter.
+func (s *Sender) SetProbe(p tcp.SenderProbe) { s.probe = p }
+
+// probeCwnd reports the current window pair to an attached probe.
+func (s *Sender) probeCwnd() {
+	if s.probe != nil {
+		s.probe.ProbeCwnd(s.env.Now(), s.cwnd, s.ssthr)
+	}
+}
 
 // Cwnd returns the congestion window in packets.
 func (s *Sender) Cwnd() float64 { return s.cwnd }
@@ -374,8 +387,7 @@ func (s *Sender) OnAck(ack tcp.Ack) {
 		return // ACK for data declared dropped and already re-queued
 	}
 	if s.memorizeCount == 0 {
-		s.cburst = 0
-		s.inExtremeRec = false
+		s.exitExtremeRec()
 	}
 
 	// Karn's rule at ACK granularity: a cumulative jump that covers a
@@ -404,6 +416,7 @@ func (s *Sender) OnAck(ack tcp.Ack) {
 	if s.cwnd > s.cfg.MaxCwnd {
 		s.cwnd = s.cfg.MaxCwnd
 	}
+	s.probeCwnd()
 
 	s.headOfLineCheck()
 	s.flush()
@@ -449,6 +462,9 @@ func (s *Sender) updateEwrtt(sample time.Duration) {
 		}
 	}
 	s.mxrtt = time.Duration(s.cfg.Beta * float64(s.ewrtt))
+	if s.probe != nil {
+		s.probe.ProbeRTT(s.env.Now(), s.ewrtt, s.mxrtt)
+	}
 }
 
 // NewtonRoot approximates alpha^(1/cwnd) with n iterations of Newton's
@@ -516,6 +532,13 @@ func (s *Sender) onDrop(seq int64, f *flight, revealed bool) {
 	} else {
 		s.AlphaTimeouts++
 	}
+	if s.probe != nil {
+		kind := "pr-timer"
+		if revealed {
+			kind = "pr-revealed"
+		}
+		s.probe.ProbeLossTimer(s.env.Now(), seq, kind)
+	}
 	delete(s.inflight, seq)
 
 	if f.memorized {
@@ -532,8 +555,7 @@ func (s *Sender) onDrop(seq int64, f *flight, revealed bool) {
 			s.extremeLoss()
 		}
 		if s.memorizeCount == 0 {
-			s.cburst = 0
-			s.inExtremeRec = false
+			s.exitExtremeRec()
 		}
 	} else if s.cwnd <= 1 {
 		// Further drops while the window is already at one segment
@@ -542,6 +564,9 @@ func (s *Sender) onDrop(seq int64, f *flight, revealed bool) {
 		s.mxrtt *= 2
 		if s.mxrtt > s.cfg.MaxBackoff {
 			s.mxrtt = s.cfg.MaxBackoff
+		}
+		if s.probe != nil {
+			s.probe.ProbeRTT(s.env.Now(), s.ewrtt, s.mxrtt)
 		}
 		s.pause(s.mxrtt)
 	} else {
@@ -564,9 +589,23 @@ func (s *Sender) onDrop(seq int64, f *flight, revealed bool) {
 		s.mode = CongestionAvoidance
 	}
 
+	s.probeCwnd()
+
 	// Move the packet back to to-be-sent for retransmission.
 	s.retxQueue.Add(seq, seq+1)
 	s.flush()
+}
+
+// exitExtremeRec clears the burst accounting and reports the end of an
+// extreme-loss recovery episode, if one was in progress.
+func (s *Sender) exitExtremeRec() {
+	s.cburst = 0
+	if s.inExtremeRec {
+		s.inExtremeRec = false
+		if s.probe != nil {
+			s.probe.ProbeRecovery(s.env.Now(), false, "extreme-loss")
+		}
+	}
 }
 
 // extremeLoss implements §3.2: reset to one segment, slow-start, raise
@@ -585,6 +624,9 @@ func (s *Sender) extremeLoss() {
 		return
 	}
 	s.ExtremeEvents++
+	if s.probe != nil {
+		s.probe.ProbeRecovery(s.env.Now(), true, "extreme-loss")
+	}
 	s.ssthr = math.Max(s.cwnd/2, 2)
 	s.cwnd = 1
 	s.mode = SlowStart

@@ -134,8 +134,8 @@ func (s scenario) lossRate() float64 {
 	var offered, dropped uint64
 	for _, l := range s.bottlenecks {
 		st := l.Stats()
-		offered += st.Enqueued + st.Dropped
-		dropped += st.Dropped
+		offered += st.Enqueued + st.Dropped + st.REDDropped
+		dropped += st.Dropped + st.REDDropped
 	}
 	if offered == 0 {
 		return 0

@@ -37,6 +37,10 @@ type FaultMatrixConfig struct {
 	// Invariants, when non-nil, attaches the conformance oracle to every
 	// cell and folds violations into the shared summary.
 	Invariants *InvariantOptions
+	// Trace, when non-nil, attaches the causal tracer to every cell and
+	// exports per-cell Perfetto/TSV trace artifacts (and flight-recorder
+	// dumps when armed together with Invariants).
+	Trace *TraceOptions
 }
 
 func (c *FaultMatrixConfig) fill() {
@@ -112,11 +116,14 @@ func runFaultCell(sc faults.Scenario, proto string, cfg FaultMatrixConfig) Fault
 	ob.links(db.Bottleneck, rev)
 	ic := cfg.Invariants.watch(name, sched, db.Net)
 	ic.mirror(ob)
+	tc := cfg.Trace.trace(name, sched, db.Net)
+	tc.armChecker(ic)
 
 	tl := faults.NewTimeline()
 	if ob != nil {
 		tl.Instrument(ob.reg)
 	}
+	tc.armTimeline(tl)
 	sc.Build(tl, db.Bottleneck, rev, sim.Time(cfg.FaultAt), cfg.Seed)
 	tl.Install(sched)
 
@@ -141,8 +148,10 @@ func runFaultCell(sc faults.Scenario, proto string, cfg FaultMatrixConfig) Fault
 	wf := workload.NewFlow(f, proto, workload.PRParams{}, 0)
 	ob.flows(wf)
 	ic.flows(wf)
+	tc.flows(wf)
 	sched.RunUntil(sim.Time(cfg.Total))
 	ic.finish()
+	tc.finish(ob)
 
 	if sc.Disrupt == 0 {
 		recovery = 0 // nothing to recover from on the baseline row

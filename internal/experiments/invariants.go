@@ -136,6 +136,16 @@ func (ic *invCell) flows(fs ...*workload.Flow) {
 	}
 }
 
+// checker exposes the cell's underlying Checker so other per-cell scopes
+// (the flight recorder in tracing.go) can chain onto its violation hook.
+// Nil-safe: a nil cell has no checker.
+func (ic *invCell) checker() *invariant.Checker {
+	if ic == nil {
+		return nil
+	}
+	return ic.c
+}
+
 // mirror routes the cell's violation counters into the cell observer's
 // metrics registry (invariant.violations*), so manifests record them.
 func (ic *invCell) mirror(obs *cellObserver) {

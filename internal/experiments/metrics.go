@@ -117,6 +117,15 @@ func (o *cellObserver) flows(fs ...*workload.Flow) {
 	}
 }
 
+// artifacts records companion files (trace exports, flight dumps) in the
+// cell manifest. Call before finish.
+func (o *cellObserver) artifacts(names ...string) {
+	if o == nil {
+		return
+	}
+	o.man.Artifacts = append(o.man.Artifacts, names...)
+}
+
 // finish stops sampling, fills the manifest, writes the cell's series
 // dump and manifest into Dir, and folds the cell into the run aggregate.
 // Export failures are reported on stderr rather than aborting a

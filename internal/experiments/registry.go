@@ -41,6 +41,13 @@ type RunConfig struct {
 	// also arms the event/packet pool ownership checks for the checked
 	// cells.
 	CheckInvariants bool
+	// Trace, when non-nil, attaches the internal/span causal tracer to
+	// every simulation cell that plumbs it (currently faultmatrix),
+	// exporting per-cell Perfetto traces and span TSVs — plus flight dumps
+	// when combined with CheckInvariants and Trace.FlightRecorder. The
+	// artifact names are recorded in the cell manifests when Metrics is
+	// also set.
+	Trace *TraceOptions
 }
 
 // invariants returns the shared per-run invariant options (nil when
@@ -355,7 +362,7 @@ var specs = []Spec{
 		Describe: "Survival matrix: every protocol against every scripted fault scenario",
 		Run: func(cfg RunConfig) (Report, error) {
 			inv := cfg.invariants()
-			c := FaultMatrixConfig{Seed: cfg.Seed, Metrics: cfg.Metrics, Invariants: inv}
+			c := FaultMatrixConfig{Seed: cfg.Seed, Metrics: cfg.Metrics, Invariants: inv, Trace: cfg.Trace}
 			// The fault matrix measures absolute simulated time, not a
 			// warm/measure split; Quick (and Smoke) map to its shortened
 			// run the CLI's -quick always used.

@@ -10,13 +10,16 @@ package fuzzer
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
 	"tcppr/internal/faults"
 	"tcppr/internal/invariant"
+	"tcppr/internal/netem"
 	"tcppr/internal/routing"
 	"tcppr/internal/sim"
+	"tcppr/internal/span"
 	"tcppr/internal/tcp"
 	"tcppr/internal/topo"
 	"tcppr/internal/workload"
@@ -41,6 +44,12 @@ type Config struct {
 	Factory func(protocol string, pr workload.PRParams) workload.SenderFactory
 	// Log, if non-nil, receives one line per scenario.
 	Log func(format string, args ...any)
+	// FlightRecorder, if non-nil, attaches the internal/span causal tracer
+	// to every scenario and streams flight dumps into this writer: each
+	// invariant violation dumps the event tail plus the hop-by-hop causal
+	// trail of the implicated packet. This is how a replayed failure seed
+	// (-fuzz-seed) explains itself.
+	FlightRecorder io.Writer
 }
 
 func (c *Config) fill() {
@@ -96,6 +105,37 @@ func (r Result) Err() error {
 		len(r.Failures), r.Runs, r.Failures[0])
 }
 
+// tracer is one scenario's optional causal-tracing scope.
+type tracer struct {
+	col *span.Collector
+	fr  *span.FlightRecorder
+}
+
+// tracer attaches the causal tracer to a scenario when the campaign asked
+// for flight recording; nil (a no-op scope) otherwise.
+func (c Config) tracer(sched *sim.Scheduler, net *netem.Network, ck *invariant.Checker) *tracer {
+	if c.FlightRecorder == nil {
+		return nil
+	}
+	col := span.New(sched, 0)
+	col.AttachNetwork(net)
+	fr := span.NewFlightRecorder(col, c.FlightRecorder)
+	fr.ArmChecker(ck)
+	return &tracer{col: col, fr: fr}
+}
+
+func (t *tracer) flow(f *tcp.Flow, protocol string) {
+	if t != nil {
+		t.col.AttachFlow(f, protocol)
+	}
+}
+
+func (t *tracer) timeline(tl *faults.Timeline) {
+	if t != nil {
+		t.fr.ArmTimeline(tl)
+	}
+}
+
 // Run executes cfg.Runs scenarios and collects the failures.
 func Run(cfg Config) Result {
 	cfg.fill()
@@ -145,6 +185,7 @@ func runDumbbell(seed int64, rng *rand.Rand, cfg Config) (string, *invariant.Che
 	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: hosts, BottleneckBW: topo.Mbps(bw)})
 	c := invariant.New(sched)
 	c.AttachNetwork(d.Net)
+	tr := cfg.tracer(sched, d.Net, c)
 
 	pr := workload.PRParams{Alpha: 0.995, Beta: 3}
 	starts := workload.StaggeredStarts(hosts, 0, 2*time.Second)
@@ -154,10 +195,12 @@ func runDumbbell(seed int64, rng *rand.Rand, cfg Config) (string, *invariant.Che
 		f.Attach(cfg.Factory(proto, pr))
 		f.Start(starts[i])
 		c.AttachFlow(f, proto)
+		tr.flow(f, proto)
 	}
 
 	faultStart := 5 * time.Second
 	tl := faults.NewTimeline()
+	tr.timeline(tl)
 	rev := d.Net.FindLink("R", "L")
 	scen.Build(tl, d.Bottleneck, rev, sim.Time(faultStart), sim.SplitSeed(seed, 1))
 	tl.Install(sched)
@@ -188,6 +231,7 @@ func runMultipath(seed int64, rng *rand.Rand, cfg Config) (string, *invariant.Ch
 	m := topo.NewMultipath(sched, numPaths, delay)
 	c := invariant.New(sched)
 	c.AttachNetwork(m.Net)
+	tr := cfg.tracer(sched, m.Net, c)
 
 	pr := workload.PRParams{Alpha: 0.995, Beta: 3}
 	starts := workload.StaggeredStarts(flows, 0, time.Second)
@@ -198,6 +242,7 @@ func runMultipath(seed int64, rng *rand.Rand, cfg Config) (string, *invariant.Ch
 		f.Attach(cfg.Factory(proto, pr))
 		f.Start(starts[i])
 		c.AttachFlow(f, proto)
+		tr.flow(f, proto)
 	}
 
 	sched.RunUntil(sim.Time(cfg.Duration))

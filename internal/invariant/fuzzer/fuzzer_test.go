@@ -1,6 +1,8 @@
 package fuzzer
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 	"time"
 
@@ -81,4 +83,47 @@ func TestSeededViolationReported(t *testing.T) {
 	if err := res.Err(); err == nil {
 		t.Error("Result.Err() = nil with failures present")
 	}
+}
+
+// TestFlightRecorderReplay: replaying a failing seed with the flight
+// recorder armed must dump the causal trail of the implicated packet —
+// this is the -fuzz-seed debugging workflow end to end.
+func TestFlightRecorderReplay(t *testing.T) {
+	seed := sim.SplitSeed(42, 0)
+	var buf bytes.Buffer
+	_, c := RunOne(seed, Config{
+		Duration:       5 * time.Second,
+		Factory:        brokenFactory,
+		FlightRecorder: &buf,
+	})
+	if c.Total() == 0 {
+		t.Fatal("broken sender produced no violations")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "invariant violation") {
+		t.Errorf("flight dump missing violation header:\n%s", head(out, 30))
+	}
+	if !strings.Contains(out, "txseq-monotone") {
+		t.Errorf("flight dump does not name the violated rule:\n%s", head(out, 30))
+	}
+	if !strings.Contains(out, "causal trail of implicated packet") {
+		t.Errorf("flight dump missing causal trail section:\n%s", head(out, 30))
+	}
+	if !strings.Contains(out, "\tenq\t") && !strings.Contains(out, "\tsend\t") {
+		t.Errorf("causal trail has no hop events:\n%s", head(out, 40))
+	}
+
+	// The recorder must observe, never perturb: verdict matches a bare run.
+	_, bare := RunOne(seed, Config{Duration: 5 * time.Second, Factory: brokenFactory})
+	if bare.Total() != c.Total() {
+		t.Errorf("flight recorder perturbed the run: %d vs %d violations", c.Total(), bare.Total())
+	}
+}
+
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
 }

@@ -77,6 +77,12 @@ type Checker struct {
 	links []*linkWatch
 	flows map[int]*flowState
 	order []*flowState // attach order, for deterministic Finish
+
+	// OnViolation, if non-nil, fires synchronously for every violation,
+	// including ones past the recording cap. The flight recorder in
+	// internal/span uses it to dump the causal trail at the moment of the
+	// breach, while the implicated packets are still in the event ring.
+	OnViolation func(Violation)
 }
 
 // New returns a Checker bound to the simulation scheduler.
@@ -105,14 +111,18 @@ func (c *Checker) SetMaxRecord(n int) {
 // violatef records one violation.
 func (c *Checker) violatef(flow, rule, format string, args ...any) {
 	c.total++
+	v := Violation{
+		At: c.sched.Now(), Rule: rule, Flow: flow, Msg: fmt.Sprintf(format, args...),
+	}
 	if len(c.violations) < c.max {
-		c.violations = append(c.violations, Violation{
-			At: c.sched.Now(), Rule: rule, Flow: flow, Msg: fmt.Sprintf(format, args...),
-		})
+		c.violations = append(c.violations, v)
 	}
 	if c.reg != nil {
 		c.reg.Counter("invariant.violations").Inc()
 		c.reg.Counter("invariant.violations." + rule).Inc()
+	}
+	if c.OnViolation != nil {
+		c.OnViolation(v)
 	}
 }
 

@@ -111,7 +111,7 @@ func InstrumentLink(sp *Sampler, reg *Registry, l *netem.Link, prefix string) {
 		sp.Watch(prefix+".queue_len", func() float64 { return float64(l.QueueLen()) })
 		sp.Watch(prefix+".drops", func() float64 {
 			st := l.Stats()
-			return float64(st.Dropped + st.RandomDropped)
+			return float64(st.Dropped + st.REDDropped + st.RandomDropped)
 		})
 		if r := l.RED(); r != nil {
 			sp.Watch(prefix+".red_avg_queue", r.AvgQueue)
@@ -121,6 +121,7 @@ func InstrumentLink(sp *Sampler, reg *Registry, l *netem.Link, prefix string) {
 		reg.GaugeFunc(prefix+".enqueued", func() float64 { return float64(l.Stats().Enqueued) })
 		reg.GaugeFunc(prefix+".dequeued", func() float64 { return float64(l.Stats().Dequeued) })
 		reg.GaugeFunc(prefix+".dropped", func() float64 { return float64(l.Stats().Dropped) })
+		reg.GaugeFunc(prefix+".red_dropped", func() float64 { return float64(l.Stats().REDDropped) })
 		reg.GaugeFunc(prefix+".random_dropped", func() float64 { return float64(l.Stats().RandomDropped) })
 		reg.GaugeFunc(prefix+".blackout_dropped", func() float64 { return float64(l.Stats().BlackoutDropped) })
 		reg.GaugeFunc(prefix+".corrupted", func() float64 { return float64(l.Stats().Corrupted) })

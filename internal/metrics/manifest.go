@@ -56,6 +56,11 @@ type Manifest struct {
 	// order. Populated by harnesses that drive a faults.Timeline.
 	Faults []string `json:"faults,omitempty"`
 
+	// Artifacts lists companion files written alongside the manifest
+	// (Perfetto traces, span TSVs, flight-recorder dumps), as file names
+	// relative to the manifest's directory.
+	Artifacts []string `json:"artifacts,omitempty"`
+
 	// Final instrument values at the end of the run.
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`

@@ -14,6 +14,10 @@ type LinkStats struct {
 	Enqueued uint64
 	// Dropped is the number of packets rejected because the queue was full.
 	Dropped uint64
+	// REDDropped is the number of packets probabilistically rejected by the
+	// link's RED controller before the drop-tail capacity check (distinct
+	// from Dropped so active-queue-management losses stay attributable).
+	REDDropped uint64
 	// RandomDropped is the number of packets lost to the configured
 	// loss process (SetLoss / SetLossModel) rather than queue overflow.
 	RandomDropped uint64
@@ -40,11 +44,11 @@ type LinkStats struct {
 // DropRate returns the fraction of offered packets that were lost on this
 // link: queue overflow, random loss, blackout rejections, and corruption.
 func (s LinkStats) DropRate() float64 {
-	offered := s.Enqueued + s.Dropped + s.RandomDropped + s.BlackoutDropped
+	offered := s.Enqueued + s.Dropped + s.REDDropped + s.RandomDropped + s.BlackoutDropped
 	if offered == 0 {
 		return 0
 	}
-	lost := s.Dropped + s.RandomDropped + s.BlackoutDropped + s.Corrupted
+	lost := s.Dropped + s.REDDropped + s.RandomDropped + s.BlackoutDropped + s.Corrupted
 	return float64(lost) / float64(offered)
 }
 
@@ -81,6 +85,7 @@ type Link struct {
 
 	sched     *sim.Scheduler
 	net       *Network
+	obs       Observer
 	queueLen  int
 	busyUntil sim.Time
 	stats     LinkStats
@@ -240,30 +245,22 @@ func (l *Link) TxTime(bytes int) time.Duration {
 func (l *Link) Enqueue(p *Packet) bool {
 	if l.down {
 		l.stats.BlackoutDropped++
-		if l.OnDrop != nil {
-			l.OnDrop(p)
-		}
+		l.drop(p, DropBlackout)
 		return false
 	}
 	if l.loss != nil && l.loss.Drop(p.Size) {
 		l.stats.RandomDropped++
-		if l.OnDrop != nil {
-			l.OnDrop(p)
-		}
+		l.drop(p, DropLoss)
 		return false
 	}
 	if l.red != nil && !l.red.Admit(l.queueLen) {
-		l.stats.Dropped++
-		if l.OnDrop != nil {
-			l.OnDrop(p)
-		}
+		l.stats.REDDropped++
+		l.drop(p, DropRED)
 		return false
 	}
 	if l.queueLen >= l.QueueCap {
 		l.stats.Dropped++
-		if l.OnDrop != nil {
-			l.OnDrop(p)
-		}
+		l.drop(p, DropQueueFull)
 		return false
 	}
 	l.queueLen++
@@ -286,8 +283,15 @@ func (l *Link) Enqueue(p *Packet) bool {
 	// The queue slot frees when serialization completes; the packet
 	// arrives one propagation delay (plus any jitter draw) later. Both
 	// events go through closure-free AtFunc trampolines so steady-state
-	// forwarding schedules without allocating.
-	l.sched.AtFunc(finish, linkDequeued, l)
+	// forwarding schedules without allocating. With an observer attached
+	// the dequeue event carries the packet instead of the link, so the
+	// serialization-complete span event can name it; the event count and
+	// ordering are identical either way.
+	if l.obs != nil {
+		l.sched.AtFunc(finish, linkDequeuedTraced, p)
+	} else {
+		l.sched.AtFunc(finish, linkDequeued, l)
+	}
 	delay := l.Delay
 	if l.jitter > 0 {
 		delay += time.Duration(l.jitterRNG.Int63n(int64(l.jitter) + 1))
@@ -297,12 +301,22 @@ func (l *Link) Enqueue(p *Packet) bool {
 	// delivery events interleave with other links' traffic. The corruption
 	// verdict rides on the packet itself.
 	p.corrupt = l.corruptP > 0 && l.corruptRNG.Float64() < l.corruptP
+	if l.obs != nil {
+		l.obs.PacketEnqueued(l, p, start, finish, finish+delay)
+	}
 	l.sched.AtFunc(finish+delay, l.deliverFn, p)
 	if l.dupP > 0 && l.dupRNG.Float64() < l.dupP {
 		l.stats.Duplicated++
 		dup := l.newPacket()
 		*dup = *p
 		dup.corrupt = false
+		if l.net != nil {
+			dup.Parent = p.Trace
+			dup.Trace = l.net.newTraceID()
+		}
+		if l.obs != nil {
+			l.obs.PacketDuplicated(l, p, dup, finish, finish+delay)
+		}
 		l.sched.AtFunc(finish+delay, l.deliverFn, dup)
 	}
 	return true
@@ -316,6 +330,19 @@ func linkDequeued(arg any) {
 	l.stats.Dequeued++
 }
 
+// linkDequeuedTraced is the observer-attached variant: the event carries
+// the packet (whose route still points at the serializing link) so the
+// observer can attribute the freed slot.
+func linkDequeuedTraced(arg any) {
+	p := arg.(*Packet)
+	l := p.NextLink()
+	l.queueLen--
+	l.stats.Dequeued++
+	if l.obs != nil {
+		l.obs.PacketDequeued(l, p)
+	}
+}
+
 // deliverEvent adapts deliver to the scheduler's closure-free callback
 // shape; it is prebound once per link as deliverFn.
 func (l *Link) deliverEvent(arg any) { l.deliver(arg.(*Packet)) }
@@ -326,19 +353,31 @@ func (l *Link) deliverEvent(arg any) { l.deliver(arg.(*Packet)) }
 func (l *Link) deliver(p *Packet) {
 	if p.corrupt {
 		l.stats.Corrupted++
-		if l.OnDrop != nil {
-			l.OnDrop(p)
-		}
+		l.drop(p, DropCorrupt)
 		l.recycle(p)
 		return
 	}
 	l.stats.Delivered++
 	l.stats.Bytes += uint64(p.Size)
+	if l.obs != nil {
+		l.obs.PacketDelivered(l, p)
+	}
 	if l.OnDeliver != nil {
 		l.OnDeliver(p)
 	}
 	p.advance()
 	l.To.receive(p)
+}
+
+// drop reports one packet death to the observer and the OnDrop hook; the
+// per-cause stats counter is incremented at the call site.
+func (l *Link) drop(p *Packet, cause DropCause) {
+	if l.obs != nil {
+		l.obs.PacketDropped(l, p, cause)
+	}
+	if l.OnDrop != nil {
+		l.OnDrop(p)
+	}
 }
 
 // newPacket draws a packet from the owning network's pool; hand-built

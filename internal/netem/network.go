@@ -28,8 +28,10 @@ type Network struct {
 	nodes     map[string]*Node
 	links     []*Link
 	nextID    uint64
+	nextTrace uint64
 	free      []*Packet
 	debugPool bool
+	obs       Observer
 }
 
 // NewNetwork creates an empty topology bound to the given scheduler.
@@ -86,6 +88,13 @@ func (n *Network) release(p *Packet) {
 // available for reuse; tests use it to prove the pool cycles.
 func (n *Network) PacketFreeListLen() int { return len(n.free) }
 
+// newTraceID issues a fresh causal trace ID (link duplication uses it to
+// give the extra copy an identity of its own).
+func (n *Network) newTraceID() uint64 {
+	n.nextTrace++
+	return n.nextTrace
+}
+
 // Nodes returns the number of nodes created so far.
 func (n *Network) Nodes() int { return len(n.nodes) }
 
@@ -109,6 +118,7 @@ func (n *Network) AddLink(from, to string, bandwidth int64, delay time.Duration,
 		QueueCap:  queueCap,
 		sched:     n.sched,
 		net:       n,
+		obs:       n.obs,
 	}
 	l.deliverFn = l.deliverEvent
 	n.links = append(n.links, l)
@@ -146,7 +156,12 @@ func (n *Network) Send(p *Packet) bool {
 	}
 	p.ID = n.nextID
 	n.nextID++
+	n.nextTrace++
+	p.Trace = n.nextTrace
 	p.SentAt = n.sched.Now()
+	if n.obs != nil {
+		n.obs.PacketSent(p)
+	}
 	if !p.Path[0].Enqueue(p) {
 		n.release(p)
 		return false
@@ -154,11 +169,12 @@ func (n *Network) Send(p *Packet) bool {
 	return true
 }
 
-// TotalDrops sums queue drops across every link.
+// TotalDrops sums queue drops (drop-tail and RED) across every link.
 func (n *Network) TotalDrops() uint64 {
 	var d uint64
 	for _, l := range n.links {
-		d += l.Stats().Dropped
+		st := l.Stats()
+		d += st.Dropped + st.REDDropped
 	}
 	return d
 }

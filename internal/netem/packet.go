@@ -19,6 +19,16 @@ import (
 type Packet struct {
 	// ID is unique per Network and identifies the packet in traces.
 	ID uint64
+	// Trace is the causal trace ID, unique per physical copy of a packet
+	// (a link-layer duplicate gets its own, unlike ID). Network.Send
+	// assigns it at birth; 0 means untraced (hand-built, never sent).
+	Trace uint64
+	// Parent links this packet to the copy it causally descends from: a
+	// link-layer duplicate carries the original's Trace, and a retransmit
+	// carries the previous transmission of the same sequence (set by the
+	// span collector, which recognizes retransmissions from the payload).
+	// 0 means no parent.
+	Parent uint64
 	// Flow identifies the end-to-end flow the packet belongs to, used by
 	// nodes to demultiplex local deliveries.
 	Flow int

@@ -1,0 +1,205 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"tcppr/internal/faults"
+	"tcppr/internal/invariant"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+)
+
+// brokenSender violates the send discipline on purpose (TxSeq reuse), so
+// the invariant checker fires deterministically — the flight recorder's
+// trigger under test.
+type brokenSender struct{ env tcp.SenderEnv }
+
+func (b *brokenSender) Start() {
+	now := b.env.Now()
+	b.env.Transmit(tcp.Seg{Seq: 1, TxSeq: 7, Stamp: now})
+	b.env.Transmit(tcp.Seg{Seq: 2, TxSeq: 7, Stamp: now})
+	b.env.Transmit(tcp.Seg{Seq: 3, TxSeq: 7, Stamp: now - sim.Time(time.Millisecond)})
+}
+
+func (b *brokenSender) OnAck(tcp.Ack) {}
+
+// brokenScenario wires a dumbbell, a checker, a collector, and a flight
+// recorder writing to buf, with the broken sender attached as "Broken".
+func brokenScenario(buf *bytes.Buffer) (*sim.Scheduler, *invariant.Checker, *FlightRecorder) {
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	c := New(sched, 1<<12)
+	c.AttachNetwork(d.Net)
+	ck := invariant.New(sched)
+	ck.AttachNetwork(d.Net)
+	f := tcp.NewFlow(d.Net, 1, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
+	f.Attach(func(env tcp.SenderEnv) tcp.Sender { return &brokenSender{env: env} })
+	f.Start(0)
+	ck.AttachFlow(f, "Broken")
+	c.AttachFlow(f, "Broken")
+	fr := NewFlightRecorder(c, buf)
+	fr.ArmChecker(ck)
+	return sched, ck, fr
+}
+
+// TestFlightRecorderDumpsOnViolation: an invariant breach must produce a
+// dump holding the event tail and the implicated packet's causal trail.
+func TestFlightRecorderDumpsOnViolation(t *testing.T) {
+	var buf bytes.Buffer
+	sched, ck, fr := brokenScenario(&buf)
+	sched.RunUntil(sim.Time(time.Second))
+	ck.Finish()
+	if ck.Total() == 0 {
+		t.Fatal("broken sender produced no violations")
+	}
+	if fr.Dumps() == 0 {
+		t.Fatal("no flight-recorder dump written")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"=== flight recorder dump #1",
+		"invariant violation",
+		"txseq-monotone",
+		"last ",
+		"causal trail of implicated packet",
+		"=== end dump #1 ===",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump lacks %q\n%s", want, head(out, 20))
+		}
+	}
+	// The trail section must show the packet's journey hop events, not
+	// just the send.
+	trail := out[strings.Index(out, "causal trail"):]
+	if !strings.Contains(trail, "\tenq\t") {
+		t.Errorf("causal trail lacks hop events:\n%s", head(trail, 10))
+	}
+	// Every violation also lands in the ring as a mark, beyond the cap.
+	var marks int
+	for _, e := range fr.Collector().Events() {
+		if e.Kind == Mark && strings.Contains(e.Note, "violation") {
+			marks++
+		}
+	}
+	if marks < ck.Total() {
+		t.Errorf("%d violation marks in ring, want >= %d", marks, ck.Total())
+	}
+}
+
+// TestFlightRecorderMaxDumps: automatic dumps stop at the cap; the ring
+// marks keep accumulating.
+func TestFlightRecorderMaxDumps(t *testing.T) {
+	var buf bytes.Buffer
+	sched, ck, fr := brokenScenario(&buf)
+	fr.MaxDumps = 1
+	sched.RunUntil(sim.Time(time.Second))
+	ck.Finish()
+	if ck.Total() < 2 {
+		t.Fatalf("want >= 2 violations, got %d", ck.Total())
+	}
+	if fr.Dumps() != 1 {
+		t.Errorf("Dumps = %d, want 1 (capped)", fr.Dumps())
+	}
+	if strings.Count(buf.String(), "=== flight recorder dump") != 1 {
+		t.Errorf("multiple dump headers in output")
+	}
+}
+
+// TestFlightRecorderTimeline: applied faults become ring events; with
+// DumpOnFault they also trigger dumps.
+func TestFlightRecorderTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	c := New(sched, 1<<10)
+	c.AttachNetwork(d.Net)
+	fr := NewFlightRecorder(c, &buf)
+	fr.DumpOnFault = true
+	tl := faults.NewTimeline()
+	tl.Blackout(d.Bottleneck, sim.Time(100*time.Millisecond), sim.Time(200*time.Millisecond))
+	fr.ArmTimeline(tl)
+	tl.Install(sched)
+	sched.RunUntil(sim.Time(time.Second))
+
+	var faultsSeen int
+	for _, e := range c.Events() {
+		if e.Kind == Fault {
+			faultsSeen++
+			if e.Link == "" {
+				t.Error("fault event lacks link")
+			}
+		}
+	}
+	if faultsSeen != tl.Len() {
+		t.Errorf("%d fault events in ring, want %d", faultsSeen, tl.Len())
+	}
+	if fr.Dumps() != tl.Len() {
+		t.Errorf("Dumps = %d, want %d (DumpOnFault)", fr.Dumps(), tl.Len())
+	}
+	if !strings.Contains(buf.String(), "fault applied") {
+		t.Error("dump lacks fault reason")
+	}
+}
+
+// TestDumpOnPanic: a panicking run writes a forced dump and re-panics.
+func TestDumpOnPanic(t *testing.T) {
+	var buf bytes.Buffer
+	sched := sim.NewScheduler()
+	c := New(sched, 16)
+	c.Mark("before the fall")
+	fr := NewFlightRecorder(c, &buf)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DumpOnPanic swallowed the panic")
+			}
+		}()
+		defer fr.DumpOnPanic()
+		panic("boom")
+	}()
+	out := buf.String()
+	if !strings.Contains(out, "panic: boom") || !strings.Contains(out, "before the fall") {
+		t.Errorf("panic dump incomplete:\n%s", out)
+	}
+}
+
+// TestFlightRecorderNilWriter: a recorder without a sink records dumps
+// (counts) but writes nothing and never panics.
+func TestFlightRecorderNilWriter(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := New(sched, 16)
+	fr := NewFlightRecorder(c, nil)
+	fr.Dump("manual")
+	if fr.Dumps() != 1 {
+		t.Errorf("Dumps = %d, want 1", fr.Dumps())
+	}
+}
+
+// TestWriteTSV: the hop-level TSV renders one line per event with the
+// per-kind detail column.
+func TestWriteTSV(t *testing.T) {
+	c, _, _ := runBlackoutScenario(t, "TCP-PR", true)
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, c.Events()); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(c.Events())+1 {
+		t.Fatalf("%d lines for %d events", len(lines), len(c.Events()))
+	}
+	if !strings.HasPrefix(lines[0], "# columns:") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	out := buf.String()
+	for _, want := range []string{"\tblackout\n", "cwnd=", "estimate=", "\tfinal\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TSV lacks %q", want)
+		}
+	}
+}

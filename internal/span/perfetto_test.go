@@ -1,0 +1,152 @@
+package span
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcppr/internal/workload"
+)
+
+// TestWriteChromeTraceValidates: the exporter's own output must pass the
+// validator CI gates traces on — well-formed JSON, monotone timestamps,
+// matched async begin/end pairs.
+func TestWriteChromeTraceValidates(t *testing.T) {
+	c, _, _ := runBlackoutScenario(t, workload.TCPPR, true)
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	n, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exported trace fails validation at event %d: %v", n, err)
+	}
+	if n == 0 {
+		t.Fatal("exported trace is empty")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"name":"process_name"`, // metadata present
+		"flow 1 (TCP-PR)",       // flow track labelled
+		`"name":"queue"`,        // packet lifecycle spans
+		`"name":"tx"`,
+		`"name":"prop"`,
+		"drop: blackout", // attributed death
+		`"name":"cwnd"`,  // sender counters
+		`"name":"rtt"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace lacks %s", want)
+		}
+	}
+}
+
+// TestValidateChromeTraceRejects: the validator must catch the failure
+// modes it exists for.
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"garbage", `{nope`, "neither"},
+		{"no-phase", `[{"name":"x","ts":1,"pid":1,"tid":0}]`, "no phase"},
+		{"negative-ts", `[{"name":"x","ph":"i","ts":-5,"pid":1,"tid":0}]`, "negative"},
+		{"non-monotone", `[{"name":"a","ph":"i","ts":2,"pid":1,"tid":0},{"name":"b","ph":"i","ts":1,"pid":1,"tid":0}]`, "monotone"},
+		{"unmatched-end", `[{"name":"s","cat":"pkt","ph":"e","ts":1,"pid":1,"tid":0,"id":"0x1"}]`, "unmatched"},
+		{"unclosed-begin", `[{"name":"s","cat":"pkt","ph":"b","ts":1,"pid":1,"tid":0,"id":"0x1"}]`, "unclosed"},
+		{"bad-phase", `[{"name":"x","ph":"Z","ts":1,"pid":1,"tid":0}]`, "unsupported phase"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateChromeTrace(strings.NewReader(tc.json))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+	// And both container forms must be accepted.
+	for _, ok := range []string{
+		`[{"name":"x","ph":"i","ts":1,"pid":1,"tid":0}]`,
+		`{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":1,"tid":0}]}`,
+	} {
+		if n, err := ValidateChromeTrace(strings.NewReader(ok)); err != nil || n != 1 {
+			t.Errorf("valid trace %s rejected: n=%d err=%v", ok, n, err)
+		}
+	}
+}
+
+// stripComments returns the TSV's data lines only.
+func stripComments(raw []byte) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestConvertEndpointTSVRoundTrip: converting a golden endpoint trace to
+// Chrome JSON must validate, and extracting it back must reproduce the
+// original data lines byte-for-byte.
+func TestConvertEndpointTSVRoundTrip(t *testing.T) {
+	for _, variant := range []string{"TCP-PR", "NewReno", "TCP-SACK"} {
+		t.Run(variant, func(t *testing.T) {
+			path := filepath.Join("..", "..", "results", "golden", variant+".tsv")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Skipf("golden trace unavailable: %v", err)
+			}
+			var converted bytes.Buffer
+			if err := ConvertEndpointTSV(bytes.NewReader(raw), &converted, variant); err != nil {
+				t.Fatalf("ConvertEndpointTSV: %v", err)
+			}
+			if n, err := ValidateChromeTrace(bytes.NewReader(converted.Bytes())); err != nil {
+				t.Fatalf("converted trace invalid at event %d: %v", n, err)
+			}
+			var back bytes.Buffer
+			if err := ExtractEndpointTSV(bytes.NewReader(converted.Bytes()), &back); err != nil {
+				t.Fatalf("ExtractEndpointTSV: %v", err)
+			}
+			if want := stripComments(raw); back.String() != want {
+				t.Errorf("round trip diverged:\n--- original\n%s--- round-tripped\n%s",
+					head(want, 8), head(back.String(), 8))
+			}
+		})
+	}
+}
+
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// TestParseEndpointTSVErrors: malformed lines are rejected with the line
+// number.
+func TestParseEndpointTSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"0.1\ts\t1\t2",     // too few fields
+		"0.1\tsr\t1\t2\t3", // multi-char kind
+		"zero\ts\t1\t2\t3", // bad time
+		"0.1\ts\tx\t2\t3",  // bad seq
+		"0.1\ts\t1\tx\t3",  // bad cum
+		"0.1\ts\t1\t2\tx",  // bad retx
+	} {
+		if _, err := ParseEndpointTSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseEndpointTSV accepted %q", bad)
+		}
+	}
+	ev, err := ParseEndpointTSV(strings.NewReader("# comment\n\n0.5\tk\t7\t8\t1\n"))
+	if err != nil || len(ev) != 1 {
+		t.Fatalf("parse: %v, %d events", err, len(ev))
+	}
+	if ev[0].T != "0.5" || ev[0].Kind != 'k' || ev[0].Seq != 7 || ev[0].Cum != 8 || ev[0].Retx != 1 {
+		t.Errorf("parsed event = %+v", ev[0])
+	}
+}

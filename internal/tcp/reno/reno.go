@@ -125,6 +125,7 @@ type Sender struct {
 	times    tcp.SendTimes
 	rtxTimer *sim.Timer
 	txSeq    int64
+	probe    tcp.SenderProbe // nil unless a tracer attached (SetProbe)
 
 	// Counters for tests and traces.
 	FastRecoveries uint64
@@ -146,6 +147,17 @@ func New(env tcp.SenderEnv, cfg Config) *Sender {
 }
 
 var _ tcp.Sender = (*Sender)(nil)
+var _ tcp.ProbeSetter = (*Sender)(nil)
+
+// SetProbe implements tcp.ProbeSetter.
+func (s *Sender) SetProbe(p tcp.SenderProbe) { s.probe = p }
+
+// probeCwnd reports the current window pair to an attached probe.
+func (s *Sender) probeCwnd() {
+	if s.probe != nil {
+		s.probe.ProbeCwnd(s.env.Now(), s.cwnd, s.ssthresh)
+	}
+}
 
 // Cwnd returns the current congestion window in packets.
 func (s *Sender) Cwnd() float64 { return s.cwnd }
@@ -208,6 +220,9 @@ func (s *Sender) OnAck(ack tcp.Ack) {
 func (s *Sender) onNewAck(ack tcp.Ack) {
 	if rtt, ok := s.times.Sample(ack.EchoSeq, s.env.Now()); ok {
 		s.rto.OnSample(rtt)
+		if s.probe != nil {
+			s.probe.ProbeRTT(s.env.Now(), s.rto.SRTT(), s.rto.RTO())
+		}
 	}
 	s.times.Forget(ack.CumAck)
 	s.cfg.Trigger.OnAdvance()
@@ -228,6 +243,7 @@ func (s *Sender) onNewAck(ack tcp.Ack) {
 			acked := float64(ack.CumAck - s.una)
 			s.una = ack.CumAck
 			s.cwnd = math.Max(s.cwnd-acked+1, 1)
+			s.probeCwnd()
 			s.retransmit(s.una)
 			s.restartTimer()
 			return
@@ -249,6 +265,10 @@ func (s *Sender) exitRecovery() {
 	s.epoch++
 	s.dupacks = 0
 	s.cwnd = s.ssthresh
+	if s.probe != nil {
+		s.probe.ProbeRecovery(s.env.Now(), false, "fast-recovery")
+	}
+	s.probeCwnd()
 }
 
 func (s *Sender) onDupAck(ack tcp.Ack) {
@@ -280,8 +300,12 @@ func (s *Sender) enterRecovery() {
 	if s.cfg.OnReduction != nil {
 		s.cfg.OnReduction(s.cwnd, s.ssthresh)
 	}
+	if s.probe != nil {
+		s.probe.ProbeRecovery(s.env.Now(), true, "fast-recovery")
+	}
 	s.ssthresh = math.Max(s.cwnd/2, 2)
 	s.cwnd = s.ssthresh + float64(s.dupacks)
+	s.probeCwnd()
 	s.restartTimer()
 	s.trySend()
 }
@@ -297,6 +321,7 @@ func (s *Sender) grow() {
 	if s.cwnd > s.cfg.MaxCwnd {
 		s.cwnd = s.cfg.MaxCwnd
 	}
+	s.probeCwnd()
 }
 
 // sendAllowance returns the highest sequence (exclusive) the sender may
@@ -364,6 +389,12 @@ func (s *Sender) onTimeout() {
 		return // nothing outstanding
 	}
 	s.Timeouts++
+	if s.probe != nil {
+		s.probe.ProbeLossTimer(s.env.Now(), s.una, "rto")
+		if s.inRecovery {
+			s.probe.ProbeRecovery(s.env.Now(), false, "fast-recovery")
+		}
+	}
 	if s.cfg.GateReduction == nil || s.cfg.GateReduction() {
 		if s.cfg.OnReduction != nil {
 			s.cfg.OnReduction(s.cwnd, s.ssthresh)
@@ -375,6 +406,7 @@ func (s *Sender) onTimeout() {
 	s.inRecovery = false
 	s.epoch++
 	s.rto.Backoff()
+	s.probeCwnd()
 	s.retransmit(s.una)
 	// Go-back-N: rewind the send pointer so slow start re-covers the
 	// outstanding region (cumulative ACKs skip whatever the receiver

@@ -13,6 +13,7 @@ package tcp
 
 import (
 	"fmt"
+	"time"
 
 	"tcppr/internal/sim"
 )
@@ -83,6 +84,38 @@ type Sender interface {
 	Start()
 	// OnAck delivers one acknowledgment to the sender.
 	OnAck(Ack)
+}
+
+// SenderProbe receives a sender's internal control-plane transitions —
+// window moves, estimator updates, loss-timer verdicts, recovery
+// entry/exit. It is the sender-side tracing seam: internal/span installs
+// one per flow to put congestion state on the same timeline as the packet
+// lifecycle events. Senders hold the probe in a nil-checked field, so a
+// detached sender pays one predictable branch per site. The kind strings
+// are package-level constants at every call site (no per-event formatting
+// or allocation).
+type SenderProbe interface {
+	// ProbeCwnd reports the congestion window and slow-start threshold
+	// after a change, in packets.
+	ProbeCwnd(now sim.Time, cwnd, ssthresh float64)
+	// ProbeRTT reports an estimator update: the smoothed estimate and the
+	// derived loss-detection threshold (TCP-PR: ewrtt and mxrtt = β·ewrtt;
+	// RFC senders: srtt and RTO).
+	ProbeRTT(now sim.Time, estimate, threshold time.Duration)
+	// ProbeLossTimer reports a loss verdict on one sequence: kind is
+	// "pr-timer" (TCP-PR mxrtt deadline), "pr-revealed" (TCP-PR
+	// head-of-line reveal), or "rto" (RFC timeout).
+	ProbeLossTimer(now sim.Time, seq int64, kind string)
+	// ProbeRecovery reports entering (entered=true) or leaving a recovery
+	// episode; kind is "fast-recovery" or "extreme-loss".
+	ProbeRecovery(now sim.Time, entered bool, kind string)
+}
+
+// ProbeSetter is implemented by senders that can report their internal
+// transitions to a SenderProbe. Attachment is optional: consumers
+// type-assert and degrade gracefully for senders that don't implement it.
+type ProbeSetter interface {
+	SetProbe(SenderProbe)
 }
 
 // SenderEnv is the environment a Flow hands to the sender it hosts.
