@@ -3,9 +3,13 @@
 //
 //	tcpsim -topology dumbbell -protocols TCP-PR,TCP-SACK -flows 8 -duration 60s
 //	tcpsim -topology multipath -protocols TCP-PR -eps 0 -delay 60ms
+//	tcpsim -topology city -shards 4 -districts 8 -hosts 16 -duration 5s
 //
 // Topologies: dumbbell (n flows share one bottleneck), parkinglot (Fig 1
-// with cross traffic), multipath (Fig 5, one flow per protocol, ε-routed).
+// with cross traffic), multipath (Fig 5, one flow per protocol, ε-routed),
+// city (districts of on/off web sources plus backbone bulk flows, run on
+// the internal/psim sharded parallel engine; -shards picks the shard
+// count, -districts/-hosts/-sources the size).
 //
 // -check attaches the internal/invariant conformance oracle to the run;
 // any violation is printed and the process exits nonzero.
@@ -24,6 +28,7 @@ import (
 	"tcppr/internal/metrics"
 	"tcppr/internal/netem"
 	"tcppr/internal/profiling"
+	"tcppr/internal/psim"
 	"tcppr/internal/routing"
 	"tcppr/internal/sim"
 	"tcppr/internal/stats"
@@ -43,6 +48,10 @@ func main() {
 	alpha := flag.Float64("alpha", 0.995, "TCP-PR alpha")
 	beta := flag.Float64("beta", 3.0, "TCP-PR beta")
 	seed := flag.Int64("seed", 42, "random seed")
+	shards := flag.Int("shards", 1, "shard count for the parallel engine (city topology)")
+	districts := flag.Int("districts", 8, "city districts (city topology)")
+	hosts := flag.Int("hosts", 16, "hosts per district (city topology)")
+	sources := flag.Int("sources", 1, "on/off sources per host (city topology)")
 	metricsDir := flag.String("metrics", "", "directory to write time series + a run manifest into")
 	faultName := flag.String("faults", "", "canned fault scenario to inject at the bottleneck ('list' to enumerate)")
 	faultAt := flag.Duration("fault-at", 5*time.Second, "when the fault scenario's disruption begins")
@@ -86,6 +95,12 @@ func main() {
 			os.Exit(1)
 		}
 		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir, *check, paths)
+	case "city":
+		if *faultName != "" {
+			fmt.Fprintln(os.Stderr, "tcpsim: -faults targets a bottleneck and supports dumbbell|parkinglot only")
+			os.Exit(1)
+		}
+		runCity(*shards, *districts, *hosts, *sources, *duration, *seed, *check)
 	default:
 		fmt.Fprintf(os.Stderr, "tcpsim: unknown topology %q\n", *topology)
 		os.Exit(1)
@@ -216,6 +231,33 @@ func runMultipathOne(proto string, pr workload.PRParams, eps float64, delay time
 	ob.finish("multipath", seed, map[string]float64{"eps": eps, "delay_ms": float64(delay.Milliseconds())}, warm+dur)
 	tr.finish()
 	finishChecker(ck)
+}
+
+// runCity drives the sharded parallel engine over the districts-of-web-
+// sources city workload and reports throughput of the run itself.
+func runCity(shards, districts, hosts, sources int, horizon time.Duration, seed int64, check bool) {
+	res := psim.RunCity(psim.CityRun{
+		City:            topo.CityConfig{Districts: districts, HostsPerDistrict: hosts},
+		Shards:          shards,
+		Seed:            seed,
+		Horizon:         horizon,
+		SourcesPerHost:  sources,
+		CheckInvariants: check,
+	})
+	fmt.Printf("city: %d districts x %d hosts x %d sources, %d shards (lookahead %v)\n",
+		districts, hosts, sources, res.Shards, res.Lookahead)
+	fmt.Printf("  flows started       %12d\n", res.Flows)
+	fmt.Printf("  transfers completed %12d (%d bytes)\n", res.Transfers, res.TransferBytes)
+	fmt.Printf("  backbone bulk bytes %12d\n", res.BulkBytes)
+	fmt.Printf("  events processed    %12d\n", res.Events)
+	fmt.Printf("  sim %0.2fs in wall %0.2fs = %0.2f sim-s/wall-s\n",
+		res.SimSeconds, res.WallSeconds, res.SimRate())
+	if check {
+		if res.Violations > 0 {
+			fatalErr(fmt.Errorf("invariants: %d violation(s)", res.Violations))
+		}
+		fmt.Println("invariants: ok (0 violations)")
+	}
 }
 
 // newChecker attaches the conformance oracle to the run when -check is

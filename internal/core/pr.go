@@ -216,8 +216,9 @@ type Sender struct {
 	ewrtt time.Duration // 0 until the first sample
 	mxrtt time.Duration
 
-	inflight  map[int64]*flight // to-be-ack
-	retxQueue tcp.IntervalSet   // to-be-sent: sequences awaiting retransmission
+	inflight   map[int64]*flight // to-be-ack
+	flightFree []*flight         // recycled to-be-ack entries (hot-path pool)
+	retxQueue  tcp.IntervalSet   // to-be-sent: sequences awaiting retransmission
 	nextNew   int64             // to-be-sent: head of the infinite new-data supply
 	una       int64             // highest cumulative ack seen
 
@@ -277,6 +278,29 @@ func New(env tcp.SenderEnv, cfg Config) *Sender {
 // shape; prebound once as checkDropFn so arming a loss timer allocates
 // nothing beyond the flight entry itself.
 func (s *Sender) checkDropEvent(arg any) { s.checkDrop(arg.(*flight).seq) }
+
+// newFlight pops a recycled to-be-ack entry, or allocates one when the
+// free list is dry. Entries reach the free list only through putFlight,
+// which cancels their loss timer, so a popped entry carries no live state.
+func (s *Sender) newFlight() *flight {
+	if n := len(s.flightFree); n > 0 {
+		f := s.flightFree[n-1]
+		s.flightFree = s.flightFree[:n-1]
+		*f = flight{}
+		return f
+	}
+	return &flight{}
+}
+
+// putFlight recycles a to-be-ack entry once it left the inflight map. The
+// loss timer must be cancelled here: each flight owns at most one pending
+// timer event, and that event's argument is the flight itself — letting it
+// fire after recycling would evaluate whatever sequence the entry carries
+// by then.
+func (s *Sender) putFlight(f *flight) {
+	f.timer.Cancel()
+	s.flightFree = append(s.flightFree, f)
+}
 
 var _ tcp.Sender = (*Sender)(nil)
 var _ tcp.ProbeSetter = (*Sender)(nil)
@@ -371,7 +395,6 @@ func (s *Sender) OnAck(ack tcp.Ack) {
 			continue
 		}
 		ackedCount++
-		f.timer.Cancel()
 		delete(s.inflight, seq)
 		if f.memorized {
 			s.memorizeCount--
@@ -382,6 +405,7 @@ func (s *Sender) OnAck(ack tcp.Ack) {
 			sample = rtt
 			sampled = true
 		}
+		s.putFlight(f)
 	}
 	if ackedCount == 0 {
 		return // ACK for data declared dropped and already re-queued
@@ -588,6 +612,7 @@ func (s *Sender) onDrop(seq int64, f *flight, revealed bool) {
 		s.ssthr = s.cwnd
 		s.mode = CongestionAvoidance
 	}
+	s.putFlight(f)
 
 	s.probeCwnd()
 
@@ -752,7 +777,8 @@ func (s *Sender) nextToSend() (seq int64, retx bool) {
 
 func (s *Sender) send(seq int64, retx bool) {
 	now := s.env.Now()
-	f := &flight{seq: seq, sentAt: now, cwndAtSend: s.cwnd, retx: retx}
+	f := s.newFlight()
+	f.seq, f.sentAt, f.cwndAtSend, f.retx = seq, now, s.cwnd, retx
 	f.timer = s.env.Sched.AtFunc(now+s.mxrtt, s.checkDropFn, f)
 	s.inflight[seq] = f
 	if retx {

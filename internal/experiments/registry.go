@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"tcppr/internal/topo"
 	"tcppr/internal/workload"
 )
 
@@ -35,6 +36,10 @@ type RunConfig struct {
 	// how a cell runs — the registry round-trip test uses it to prove
 	// each Spec end to end without paying for full sweeps.
 	Smoke bool
+	// Shards, when positive, pins the sharded-city experiment to exactly
+	// that shard count instead of its default {1, 4} scaling sweep. The
+	// per-figure experiments run on one scheduler and ignore it.
+	Shards int
 	// CheckInvariants attaches the internal/invariant conformance oracle
 	// to every simulation cell. The run fails with a descriptive error if
 	// any cell violates a conservation or protocol-conformance rule. It
@@ -355,6 +360,42 @@ var specs = []Spec{
 				rep.csvs = append(rep.csvs, CSVFile{"ext_door.csv", t})
 			}
 			return rep.finish(cfg, inv, "ext-door", false)
+		},
+	},
+	{
+		Name:     "city",
+		Describe: "Sharded-city scaling: sim-s/wall-s of the parallel engine at 1 vs 4 shards",
+		Run: func(cfg RunConfig) (Report, error) {
+			c := CityConfig{
+				City:            topo.CityConfig{Districts: 8, HostsPerDistrict: 16},
+				ShardCounts:     []int{1, 4},
+				Seed:            cfg.Seed,
+				Horizon:         3 * time.Second,
+				SourcesPerHost:  4,
+				CheckInvariants: cfg.CheckInvariants,
+			}
+			if c.Seed == 0 {
+				c.Seed = 42
+			}
+			if cfg.Smoke || cfg.Durations == Quick {
+				c.City = topo.CityConfig{Districts: 4, HostsPerDistrict: 4}
+				c.Horizon = time.Second
+				c.SourcesPerHost = 1
+				c.ShardCounts = []int{1, 2}
+			}
+			if cfg.Shards > 0 {
+				c.ShardCounts = []int{cfg.Shards}
+			}
+			res := RunCityScaling(c)
+			for i, run := range res.Runs {
+				if run.Violations > 0 {
+					return nil, fmt.Errorf("city: %d invariant violation(s) at %d shards",
+						run.Violations, c.ShardCounts[i])
+				}
+			}
+			t := res.Table()
+			rep := report{tables: []*Table{t}, csvs: []CSVFile{{"city_scaling.csv", t}}}
+			return rep.finish(cfg, nil, "city", false)
 		},
 	},
 	{

@@ -267,9 +267,9 @@ func (w *linkWatch) onDrop(p *netem.Packet) {
 		return // unattached (e.g. cross traffic)
 	}
 	switch p.Payload.(type) {
-	case tcp.Seg:
+	case *tcp.Seg:
 		fs.dataDropped++
-	case tcp.Ack:
+	case *tcp.Ack:
 		fs.ackDropped++
 	}
 	fs.checkConservation(false)

@@ -309,6 +309,9 @@ func (l *Link) Enqueue(p *Packet) bool {
 		l.stats.Duplicated++
 		dup := l.newPacket()
 		*dup = *p
+		if c, ok := p.Payload.(payloadCloner); ok {
+			dup.Payload = c.ClonePayload()
+		}
 		dup.corrupt = false
 		if l.net != nil {
 			dup.Parent = p.Trace

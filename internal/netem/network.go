@@ -27,6 +27,7 @@ type Network struct {
 	sched     *sim.Scheduler
 	nodes     map[string]*Node
 	links     []*Link
+	linkIdx   map[linkKey]*Link
 	nextID    uint64
 	nextTrace uint64
 	free      []*Packet
@@ -34,9 +35,16 @@ type Network struct {
 	obs       Observer
 }
 
+type linkKey struct{ from, to string }
+
 // NewNetwork creates an empty topology bound to the given scheduler.
 func NewNetwork(sched *sim.Scheduler) *Network {
-	return &Network{sched: sched, nodes: make(map[string]*Node), debugPool: debugPoolEnv}
+	return &Network{
+		sched:     sched,
+		nodes:     make(map[string]*Node),
+		linkIdx:   make(map[linkKey]*Link),
+		debugPool: debugPoolEnv,
+	}
 }
 
 // SetDebugPool enables (or disables) pool-ownership checking: recycling a
@@ -122,6 +130,7 @@ func (n *Network) AddLink(from, to string, bandwidth int64, delay time.Duration,
 	}
 	l.deliverFn = l.deliverEvent
 	n.links = append(n.links, l)
+	n.linkIdx[linkKey{from, to}] = l
 	return l
 }
 
@@ -131,14 +140,21 @@ func (n *Network) AddDuplex(a, b string, bandwidth int64, delay time.Duration, q
 	return n.AddLink(a, b, bandwidth, delay, queueCap), n.AddLink(b, a, bandwidth, delay, queueCap)
 }
 
-// FindLink returns the link from one named node to another, or nil.
+// FindLink returns the link from one named node to another, or nil. The
+// lookup is indexed: topology builders at city scale resolve hundreds of
+// thousands of routes, so a scan over the link slice is not an option.
 func (n *Network) FindLink(from, to string) *Link {
-	for _, l := range n.links {
-		if l.From.Name == from && l.To.Name == to {
-			return l
-		}
-	}
-	return nil
+	return n.linkIdx[linkKey{from, to}]
+}
+
+// Inject hands a packet directly to a node, as if it had just crossed an
+// incoming link: packets with a remaining source route are forwarded,
+// others go to the local flow handler, and either way the network recycles
+// the packet afterwards. It is the cross-scheduler seam the parallel
+// engine (internal/psim) uses to deliver a packet whose journey ended at a
+// shard boundary one hop short of its destination node.
+func (n *Network) Inject(node *Node, p *Packet) {
+	node.receive(p)
 }
 
 // Send injects a packet at the head of its source route. The route must be

@@ -56,6 +56,12 @@ type Packet struct {
 	pooled bool
 }
 
+// payloadCloner is the payload-duplication seam: transports that pool
+// their payload boxes implement it so a link-layer duplicate gets its own
+// copy instead of sharing recycled storage with the original (whose
+// arrival may recycle the box while the duplicate is still in flight).
+type payloadCloner interface{ ClonePayload() any }
+
 // NextLink returns the next link on the packet's source route, or nil if
 // the route is exhausted (the packet is at its destination).
 func (p *Packet) NextLink() *Link {

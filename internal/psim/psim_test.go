@@ -1,0 +1,164 @@
+package psim
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/netem"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+	"tcppr/internal/workload"
+)
+
+const testHorizon = 2 * time.Second
+
+var testCity = topo.CityConfig{Districts: 2, HostsPerDistrict: 2}
+
+// buildSequentialBulk instantiates the same blueprint BuildCity shards —
+// but on a single scheduler, with plain netem links — and wires the same
+// two backbone bulk flows with the same IDs, routes, and start times.
+// This is the reference the sharded engine must match.
+func buildSequentialBulk(t *testing.T) (*sim.Scheduler, []*tcp.Flow) {
+	t.Helper()
+	bp := topo.NewCity(testCity)
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	for _, n := range bp.Nodes {
+		net.Node(n.Name)
+	}
+	for _, l := range bp.Links {
+		net.AddLink(l.From, l.To, l.BW, l.Delay, l.Queue)
+	}
+	mkPath := func(names ...string) []*netem.Link {
+		var out []*netem.Link
+		for i := 0; i+1 < len(names); i++ {
+			l := net.FindLink(names[i], names[i+1])
+			if l == nil {
+				t.Fatalf("sequential twin missing link %s->%s", names[i], names[i+1])
+			}
+			out = append(out, l)
+		}
+		return out
+	}
+	var flows []*tcp.Flow
+	mk := func(id, sd, dd int) {
+		src, dst := topo.CityHost(sd, 0), topo.CityHost(dd, 0)
+		fwd := routing.Static{Path: mkPath(src, topo.CityRouter(sd), topo.CityRouter(dd), dst)}
+		rev := routing.Static{Path: mkPath(dst, topo.CityRouter(dd), topo.CityRouter(sd), src)}
+		f := tcp.NewFlow(net, id, net.Node(src), net.Node(dst), fwd, rev)
+		f.Attach(workload.Factory(workload.TCPPR, workload.PRParams{}))
+		f.Start(sim.Time(time.Duration(id) * time.Millisecond / 4))
+		flows = append(flows, f)
+	}
+	mk(1, 0, 1) // the same order BuildCity creates them in
+	mk(2, 1, 0)
+	sched.RunUntil(sim.Time(testHorizon))
+	return sched, flows
+}
+
+// TestShardedMatchesSequentialBulk: with the on/off tier disabled, the
+// backbone flows must deliver byte-for-byte what the single-scheduler
+// reference delivers — at one shard (where the engine is the sequential
+// simulation) and at two (where every data segment and ACK crosses the
+// portal machinery and pays its propagation delay as a message
+// timestamp).
+func TestShardedMatchesSequentialBulk(t *testing.T) {
+	seqSched, seqFlows := buildSequentialBulk(t)
+	for _, shards := range []int{1, 2} {
+		eng, st := BuildCity(CityRun{
+			City: testCity, Shards: shards, Seed: 11,
+			Horizon: testHorizon, SourcesPerHost: -1,
+		})
+		eng.Run(sim.Time(testHorizon))
+		if len(st.bulk) != len(seqFlows) {
+			t.Fatalf("shards=%d: %d bulk flows, reference has %d", shards, len(st.bulk), len(seqFlows))
+		}
+		for i, f := range st.bulk {
+			if got, want := f.UniqueBytes(), seqFlows[i].UniqueBytes(); got != want {
+				t.Errorf("shards=%d flow %d delivered %d bytes, reference %d", shards, i+1, got, want)
+			}
+			if f.UniqueBytes() == 0 {
+				t.Errorf("shards=%d flow %d delivered nothing", shards, i+1)
+			}
+		}
+		if shards == 1 {
+			if got, want := eng.Processed(), seqSched.Processed(); got != want {
+				t.Errorf("shards=1 executed %d events, sequential reference %d", got, want)
+			}
+		}
+	}
+}
+
+// TestTrafficMatchesAcrossShardCounts: the full city — on/off tier and
+// backbone flows — carries the same traffic no matter how it is cut,
+// because every stochastic stream is keyed by global indices.
+func TestTrafficMatchesAcrossShardCounts(t *testing.T) {
+	run := func(shards int) CityResult {
+		return RunCity(CityRun{
+			City: testCity, Shards: shards, Seed: 23, Horizon: testHorizon,
+		})
+	}
+	one, two := run(1), run(2)
+	if one.Transfers == 0 {
+		t.Fatal("no on/off transfers completed at shards=1")
+	}
+	if one.Transfers != two.Transfers || one.TransferBytes != two.TransferBytes {
+		t.Errorf("on/off traffic drifted: 1 shard %d transfers/%d B, 2 shards %d transfers/%d B",
+			one.Transfers, one.TransferBytes, two.Transfers, two.TransferBytes)
+	}
+	if one.BulkBytes != two.BulkBytes {
+		t.Errorf("bulk traffic drifted: 1 shard %d B, 2 shards %d B", one.BulkBytes, two.BulkBytes)
+	}
+	if one.Flows != two.Flows {
+		t.Errorf("flow counts drifted: %d vs %d", one.Flows, two.Flows)
+	}
+}
+
+// TestShardedReproducible: a fixed (seed, shard count) pins the whole run;
+// a different seed does not.
+func TestShardedReproducible(t *testing.T) {
+	run := func(seed int64) CityResult {
+		res := RunCity(CityRun{
+			City: testCity, Shards: 2, Seed: seed, Horizon: testHorizon,
+		})
+		res.WallSeconds = 0 // the only field allowed to vary
+		return res
+	}
+	a, b := run(5), run(5)
+	if a != b {
+		t.Errorf("identical seeds diverged:\n  %+v\n  %+v", a, b)
+	}
+	if c := run(6); a.Transfers == c.Transfers && a.TransferBytes == c.TransferBytes && a.Events == c.Events {
+		t.Errorf("seeds 5 and 6 produced identical runs: %+v", c)
+	}
+}
+
+// TestShardedInvariantsClean: conformance checking stays on in sharded
+// mode and a healthy run reports no violations.
+func TestShardedInvariantsClean(t *testing.T) {
+	res := RunCity(CityRun{
+		City: testCity, Shards: 2, Seed: 31, Horizon: testHorizon,
+		CheckInvariants: true,
+	})
+	if res.Violations != 0 {
+		t.Errorf("sharded run reported %d invariant violations", res.Violations)
+	}
+	if res.Transfers == 0 || res.BulkBytes == 0 {
+		t.Errorf("degenerate run: %d transfers, %d bulk bytes", res.Transfers, res.BulkBytes)
+	}
+}
+
+// TestLookaheadWindow: the barrier window is the backbone propagation
+// delay, and a larger city still partitions with the same lookahead.
+func TestLookaheadWindow(t *testing.T) {
+	cfg := CityRun{
+		City:   topo.CityConfig{Districts: 4, HostsPerDistrict: 2, BackboneDelay: 7 * time.Millisecond},
+		Shards: 4, Seed: 1, Horizon: time.Second,
+	}
+	eng, _ := BuildCity(cfg)
+	if got, want := eng.Lookahead(), cfg.City.BackboneDelay; got != want {
+		t.Fatalf("lookahead %v, want backbone delay %v", got, want)
+	}
+}

@@ -1,0 +1,39 @@
+package psim
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tcppr/internal/topo"
+)
+
+// TestCityMillionFlowSmoke is the headline scale run: a 100k-source city
+// (8 districts x 250 hosts x 50 on/off sources) driven for 8 simulated
+// seconds on 4 shards, opening over a million connections. It takes
+// minutes of wall time, so it is gated behind an environment variable:
+//
+//	TCPPR_CITY_1M=1 go test -run TestCityMillionFlowSmoke -v ./internal/psim/
+//
+// The recorded outcome of the gating run is in PERFORMANCE.md.
+func TestCityMillionFlowSmoke(t *testing.T) {
+	if os.Getenv("TCPPR_CITY_1M") == "" {
+		t.Skip("set TCPPR_CITY_1M=1 to run the million-flow city smoke")
+	}
+	res := RunCity(CityRun{
+		City:           topo.CityConfig{Districts: 8, HostsPerDistrict: 250},
+		Shards:         4,
+		Seed:           1,
+		Horizon:        8 * time.Second,
+		SourcesPerHost: 50,
+	})
+	t.Logf("city: %d flows, %d transfers (%d B), %d bulk B, %d events, sim %.1fs in wall %.1fs (%.2f sim-s/wall-s, lookahead %v)",
+		res.Flows, res.Transfers, res.TransferBytes, res.BulkBytes, res.Events,
+		res.SimSeconds, res.WallSeconds, res.SimRate(), res.Lookahead)
+	if res.Flows < 1_000_000 {
+		t.Errorf("opened %d flows, want >= 1,000,000", res.Flows)
+	}
+	if res.Transfers == 0 || res.BulkBytes == 0 {
+		t.Errorf("degenerate run: %d transfers, %d bulk bytes", res.Transfers, res.BulkBytes)
+	}
+}

@@ -283,7 +283,7 @@ func (c *Collector) PacketSent(p *netem.Packet) {
 		Size: int32(p.Size), Trace: p.Trace,
 	}
 	switch pl := p.Payload.(type) {
-	case tcp.Seg:
+	case *tcp.Seg:
 		e.Seq, e.Retx, e.Note = pl.Seq, pl.Retx, "data"
 		key := flowSeq{flow: e.Flow, seq: pl.Seq}
 		if pl.Retx {
@@ -295,7 +295,7 @@ func (c *Collector) PacketSent(p *netem.Packet) {
 			delete(c.lastTx, flowSeq{flow: e.Flow, seq: pl.Seq - retxWindow})
 		}
 		c.lastTx[key] = p.Trace
-	case tcp.Ack:
+	case *tcp.Ack:
 		e.Seq, e.Note = pl.CumAck, "ack"
 	}
 	c.push(e)
@@ -349,9 +349,9 @@ func (c *Collector) PacketDuplicated(l *netem.Link, orig, dup *netem.Packet, txE
 // allocating: segment sequence for data, cumulative point for ACKs.
 func seqOf(p *netem.Packet) int64 {
 	switch pl := p.Payload.(type) {
-	case tcp.Seg:
+	case *tcp.Seg:
 		return pl.Seq
-	case tcp.Ack:
+	case *tcp.Ack:
 		return pl.CumAck
 	}
 	return 0
@@ -359,7 +359,7 @@ func seqOf(p *netem.Packet) int64 {
 
 // retxOf reports whether the packet carries a retransmitted segment.
 func retxOf(p *netem.Packet) bool {
-	if seg, ok := p.Payload.(tcp.Seg); ok {
+	if seg, ok := p.Payload.(*tcp.Seg); ok {
 		return seg.Retx
 	}
 	return false

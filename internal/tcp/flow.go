@@ -68,11 +68,19 @@ type Flow struct {
 	// PktSize and AckSize are wire sizes in bytes.
 	PktSize, AckSize int
 
-	net      *netem.Network
-	src, dst *netem.Node
-	fwd, rev routing.Router
-	sender   Sender
-	recv     *Receiver
+	// srcNet hosts the sending side (transmit, sender timers, ACK
+	// arrival); dstNet hosts the receiving side (data arrival, the
+	// receiver, ACK emission, the delayed-ACK timer). NewFlow sets both to
+	// the same network; NewSplitFlow puts the two halves of a flow on
+	// different shards of a parallel simulation, each with its own
+	// scheduler. Every field of the flow is touched by exactly one side
+	// (sender state and data-sent counters by src, receiver state and
+	// ACK-sent counters by dst), which is what makes the split race-free.
+	srcNet, dstNet *netem.Network
+	src, dst       *netem.Node
+	fwd, rev       routing.Router
+	sender         Sender
+	recv           *Receiver
 
 	// Hooks are optional observation callbacks.
 	Hooks FlowHooks
@@ -90,6 +98,18 @@ type Flow struct {
 	delackAck     Ack
 	delackTimer   *sim.Timer
 
+	// Payload box pools. A transmitted Seg/Ack rides the network boxed
+	// behind Packet.Payload; boxing a value interface allocates per packet,
+	// so the flow boxes pointers into recycled storage instead: the sending
+	// side pops a box, the receiving side returns it after copying the
+	// value out. Boxes on dropped packets simply fall to the garbage
+	// collector (the pool refills by allocation). noPool disables recycling
+	// for flows whose two ends live on different schedulers (see
+	// NewSplitFlow): there the put would race with the peer's pop.
+	segFree []*Seg
+	ackFree []*Ack
+	noPool  bool
+
 	dataSent, dataRetx, acksSent uint64
 }
 
@@ -100,6 +120,16 @@ const DelAckTimeout = 200 * time.Millisecond
 // routes ACKs (dst→src). The sender is attached separately with Attach so
 // that variant constructors can receive the flow's SenderEnv.
 func NewFlow(net *netem.Network, id int, src, dst *netem.Node, fwd, rev routing.Router) *Flow {
+	return NewSplitFlow(net, net, id, src, dst, fwd, rev)
+}
+
+// NewSplitFlow wires a flow whose two endpoints live on different networks
+// (and therefore different schedulers): the sending half runs on srcNet's
+// shard, the receiving half on dstNet's. The routers must route through
+// the cross-shard portal stubs (see internal/psim); payload box pooling is
+// disabled because a box popped on one scheduler would be recycled on the
+// other. Passing the same network twice degenerates to NewFlow.
+func NewSplitFlow(srcNet, dstNet *netem.Network, id int, src, dst *netem.Node, fwd, rev routing.Router) *Flow {
 	if fwd == nil || rev == nil {
 		panic("tcp: NewFlow requires both routers")
 	}
@@ -107,14 +137,16 @@ func NewFlow(net *netem.Network, id int, src, dst *netem.Node, fwd, rev routing.
 		ID:      id,
 		PktSize: DefaultPktSize,
 		AckSize: DefaultAckSize,
-		net:     net,
+		srcNet:  srcNet,
+		dstNet:  dstNet,
 		src:     src,
 		dst:     dst,
 		fwd:     fwd,
 		rev:     rev,
 		recv:    &Receiver{},
+		noPool:  srcNet != dstNet,
 	}
-	f.delackTimer = sim.NewTimer(net.Scheduler(), func() {
+	f.delackTimer = sim.NewTimer(dstNet.Scheduler(), func() {
 		if f.delackPending {
 			f.delackPending = false
 			f.emitAck(f.delackAck)
@@ -127,7 +159,7 @@ func NewFlow(net *netem.Network, id int, src, dst *netem.Node, fwd, rev routing.
 
 // Env returns the sender environment for this flow.
 func (f *Flow) Env() SenderEnv {
-	return SenderEnv{Sched: f.net.Scheduler(), Transmit: f.transmit}
+	return SenderEnv{Sched: f.srcNet.Scheduler(), Transmit: f.transmit}
 }
 
 // Attach installs the sender built by mk. It must be called exactly once
@@ -144,7 +176,7 @@ func (f *Flow) Start(at sim.Time) {
 	if f.sender == nil {
 		panic(fmt.Sprintf("tcp: flow %d started without a sender", f.ID))
 	}
-	f.net.Scheduler().At(at, f.sender.Start)
+	f.srcNet.Scheduler().At(at, f.sender.Start)
 }
 
 // Sender returns the attached sender (nil before Attach).
@@ -174,23 +206,40 @@ func (f *Flow) transmit(seg Seg) bool {
 		f.dataRetx++
 	}
 	if f.Hooks.OnDataSent != nil {
-		f.Hooks.OnDataSent(seg, f.net.Scheduler().Now())
+		f.Hooks.OnDataSent(seg, f.srcNet.Scheduler().Now())
 	}
-	p := f.net.NewPacket()
+	p := f.srcNet.NewPacket()
 	p.Flow = f.ID
 	p.Size = f.PktSize
 	p.Path = f.fwd.Route()
-	p.Payload = seg
-	return f.net.Send(p)
+	p.Payload = f.newSegBox(seg)
+	return f.srcNet.Send(p)
+}
+
+// newSegBox boxes a data segment for the wire, reusing recycled storage.
+func (f *Flow) newSegBox(seg Seg) *Seg {
+	if n := len(f.segFree); n > 0 {
+		b := f.segFree[n-1]
+		f.segFree = f.segFree[:n-1]
+		*b = seg
+		return b
+	}
+	b := new(Seg)
+	*b = seg
+	return b
 }
 
 // onDataArrival handles a data segment reaching the destination node.
 func (f *Flow) onDataArrival(p *netem.Packet) {
-	seg, ok := p.Payload.(Seg)
+	box, ok := p.Payload.(*Seg)
 	if !ok {
 		return // an ACK looped to the wrong endpoint; impossible by construction
 	}
-	now := f.net.Scheduler().Now()
+	seg := *box
+	if !f.noPool {
+		f.segFree = append(f.segFree, box)
+	}
+	now := f.dstNet.Scheduler().Now()
 	if f.Hooks.OnDataRecv != nil {
 		f.Hooks.OnDataRecv(seg, now)
 	}
@@ -218,27 +267,52 @@ func (f *Flow) onDataArrival(p *netem.Packet) {
 
 // emitAck sends one acknowledgment over the reverse path.
 func (f *Flow) emitAck(ack Ack) {
-	now := f.net.Scheduler().Now()
+	now := f.dstNet.Scheduler().Now()
 	f.acksSent++
 	if f.Hooks.OnAckSent != nil {
 		f.Hooks.OnAckSent(ack, now)
 	}
-	p := f.net.NewPacket()
+	p := f.dstNet.NewPacket()
 	p.Flow = f.ID
 	p.Size = f.AckSize
 	p.Path = f.rev.Route()
-	p.Payload = ack
-	f.net.Send(p)
+	p.Payload = f.newAckBox(ack)
+	f.dstNet.Send(p)
+}
+
+// newAckBox boxes an acknowledgment for the wire. The box carries its own
+// SACK block storage (capacity MaxSackBlocks, retained across recycling),
+// so the snapshot of the receiver's scratch-backed Blocks slice costs no
+// allocation either — this was the other dominant per-ACK allocation.
+func (f *Flow) newAckBox(ack Ack) *Ack {
+	var b *Ack
+	if n := len(f.ackFree); n > 0 {
+		b = f.ackFree[n-1]
+		f.ackFree = f.ackFree[:n-1]
+	} else {
+		b = &Ack{Blocks: make([]SackBlock, 0, MaxSackBlocks)}
+	}
+	blocks := b.Blocks[:0]
+	*b = ack
+	b.Blocks = append(blocks, ack.Blocks...)
+	return b
 }
 
 // onAckArrival handles an ACK reaching the source node.
 func (f *Flow) onAckArrival(p *netem.Packet) {
-	ack, ok := p.Payload.(Ack)
+	box, ok := p.Payload.(*Ack)
 	if !ok {
 		return
 	}
+	ack := *box
 	if f.Hooks.OnAckRecv != nil {
-		f.Hooks.OnAckRecv(ack, f.net.Scheduler().Now())
+		f.Hooks.OnAckRecv(ack, f.srcNet.Scheduler().Now())
 	}
 	f.sender.OnAck(ack)
+	// ack (and its Blocks alias into the box) is dead past this point; the
+	// sender and hooks read ACKs synchronously, copying what they keep.
+	if !f.noPool {
+		box.DSACK = nil
+		f.ackFree = append(f.ackFree, box)
+	}
 }

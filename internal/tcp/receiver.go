@@ -20,6 +20,9 @@ type Receiver struct {
 	// recent remembers the most recently changed OOO blocks, newest
 	// first, for RFC 2018's block-ordering rule.
 	recent []SackBlock
+	// sackScratch backs the Blocks slice of every returned Ack; see
+	// sackBlocks for the aliasing contract.
+	sackScratch [MaxSackBlocks]SackBlock
 
 	// UniqueSegs counts distinct segments received (goodput numerator).
 	UniqueSegs int64
@@ -124,11 +127,17 @@ func (r *Receiver) trimRecent() {
 // sackBlocks assembles the ACK's SACK blocks: most recently changed block
 // first, then the remaining newest blocks, expanded to the full extent of
 // the containing OOO block.
+//
+// The returned slice aliases the receiver's scratch buffer and is valid
+// only until the next OnData call — the Flow snapshots it into a pooled
+// payload box before the ACK enters the network, and every other consumer
+// reads it synchronously. Allocating a fresh slice here was one of the two
+// dominant per-ACK allocations on the steady-state hot path.
 func (r *Receiver) sackBlocks() []SackBlock {
 	if len(r.recent) == 0 {
 		return nil
 	}
-	out := make([]SackBlock, 0, len(r.recent))
+	out := r.sackScratch[:0]
 	for _, b := range r.recent {
 		// Report the block at its current (possibly grown) extent.
 		for _, cur := range r.ooo.Blocks() {

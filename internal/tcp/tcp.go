@@ -75,6 +75,27 @@ type Ack struct {
 // sender's current lowest unacknowledged sequence.
 func (a Ack) IsDup(una int64) bool { return a.CumAck == una }
 
+// ClonePayload implements netem's payload-duplication seam: a link-layer
+// duplicate must not share a pooled payload box with the original, or the
+// first copy's arrival would recycle storage the second copy still reads.
+func (s *Seg) ClonePayload() any {
+	c := *s
+	return &c
+}
+
+// ClonePayload deep-copies the SACK blocks too — they alias the box's own
+// recycled backing array. The DSACK pointer may be shared: the receiver
+// allocates it fresh per duplicate arrival and never mutates it.
+func (a *Ack) ClonePayload() any {
+	c := *a
+	if len(a.Blocks) > 0 {
+		c.Blocks = append([]SackBlock(nil), a.Blocks...)
+	} else {
+		c.Blocks = nil
+	}
+	return &c
+}
+
 // Sender is a TCP sender congestion-control engine. A Sender is owned by
 // exactly one Flow; the flow calls Start once and OnAck for every ACK that
 // survives the reverse path.

@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+)
+
+// CityConfig parameterizes NewCity, the scale-out topology the parallel
+// engine (internal/psim) runs: a ring of districts, each a star of host
+// nodes around one district router, with neighbouring routers joined by
+// backbone links. Districts are the partitioner's atomic unit, so the
+// web-like on/off traffic wired inside a district never crosses a shard
+// boundary, while long-lived flows between neighbouring districts ride
+// the backbone — and, when the ring is cut, the cross-shard portals.
+//
+// Zero values select: 400 Mbps / 5 ms backbone, 100 Mbps / 1 ms access,
+// 100-packet queues. The backbone delay doubles as the conservative
+// lookahead whenever the ring is cut, so it is deliberately the largest
+// delay in the city.
+type CityConfig struct {
+	Districts        int // number of districts (required)
+	HostsPerDistrict int // host nodes per district (required)
+
+	BackboneBW    int64
+	BackboneDelay time.Duration
+	AccessBW      int64
+	AccessDelay   time.Duration
+	Queue         int
+}
+
+func (c *CityConfig) fill() {
+	if c.Districts <= 0 {
+		panic("topo: CityConfig.Districts must be positive")
+	}
+	if c.HostsPerDistrict <= 0 {
+		panic("topo: CityConfig.HostsPerDistrict must be positive")
+	}
+	if c.BackboneBW == 0 {
+		c.BackboneBW = Mbps(400)
+	}
+	if c.BackboneDelay == 0 {
+		c.BackboneDelay = 5 * time.Millisecond
+	}
+	if c.AccessBW == 0 {
+		c.AccessBW = Mbps(100)
+	}
+	if c.AccessDelay == 0 {
+		c.AccessDelay = time.Millisecond
+	}
+	if c.Queue == 0 {
+		c.Queue = DefaultQueue
+	}
+}
+
+// CityRouter names district d's router.
+func CityRouter(d int) string { return fmt.Sprintf("r%d", d) }
+
+// CityHost names host h of district d.
+func CityHost(d, h int) string { return fmt.Sprintf("h%d.%d", d, h) }
+
+// NewCity builds the city blueprint: per district, HostsPerDistrict hosts
+// joined to the district router by duplex access links; districts joined
+// into a ring of duplex backbone links (a single duplex pair when there
+// are exactly two districts, none for one).
+func NewCity(cfg CityConfig) Blueprint {
+	cfg.fill()
+	var bp Blueprint
+	for d := 0; d < cfg.Districts; d++ {
+		bp.AddNode(CityRouter(d), d)
+		for h := 0; h < cfg.HostsPerDistrict; h++ {
+			bp.AddNode(CityHost(d, h), d)
+			bp.AddDuplex(CityHost(d, h), CityRouter(d), cfg.AccessBW, cfg.AccessDelay, cfg.Queue)
+		}
+	}
+	switch {
+	case cfg.Districts == 2:
+		bp.AddDuplex(CityRouter(0), CityRouter(1), cfg.BackboneBW, cfg.BackboneDelay, cfg.Queue)
+	case cfg.Districts > 2:
+		for d := 0; d < cfg.Districts; d++ {
+			bp.AddDuplex(CityRouter(d), CityRouter((d+1)%cfg.Districts), cfg.BackboneBW, cfg.BackboneDelay, cfg.Queue)
+		}
+	}
+	return bp
+}

@@ -1,0 +1,149 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// cityCases spans the shapes the partition properties must hold over:
+// ring sizes from degenerate to larger-than-shard-count, host counts, and
+// several seeds per shape.
+func cityCases() []CityConfig {
+	return []CityConfig{
+		{Districts: 1, HostsPerDistrict: 1},
+		{Districts: 2, HostsPerDistrict: 3},
+		{Districts: 3, HostsPerDistrict: 2},
+		{Districts: 4, HostsPerDistrict: 4},
+		{Districts: 7, HostsPerDistrict: 3},
+		{Districts: 16, HostsPerDistrict: 2},
+	}
+}
+
+// TestPartitionCoversEveryNodeExactlyOnce: the shards' node lists are a
+// disjoint cover of the blueprint's nodes, and ShardOf agrees with the
+// lists.
+func TestPartitionCoversEveryNodeExactlyOnce(t *testing.T) {
+	for _, cfg := range cityCases() {
+		bp := NewCity(cfg)
+		for shards := 1; shards <= cfg.Districts && shards <= 5; shards++ {
+			for seed := int64(0); seed < 4; seed++ {
+				p := PartitionBlueprint(bp, shards, seed)
+				seen := make(map[string]int)
+				for s := 0; s < shards; s++ {
+					for _, n := range p.Nodes(s) {
+						seen[n]++
+						if p.ShardOf(n) != s {
+							t.Fatalf("districts=%d shards=%d seed=%d: ShardOf(%q)=%d but listed on shard %d",
+								cfg.Districts, shards, seed, n, p.ShardOf(n), s)
+						}
+					}
+				}
+				if len(seen) != len(bp.Nodes) {
+					t.Fatalf("districts=%d shards=%d seed=%d: %d nodes covered, blueprint has %d",
+						cfg.Districts, shards, seed, len(seen), len(bp.Nodes))
+				}
+				for n, count := range seen {
+					if count != 1 {
+						t.Fatalf("districts=%d shards=%d seed=%d: node %q on %d shards",
+							cfg.Districts, shards, seed, n, count)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionCutsAreValidLookaheadBoundaries: every cut link genuinely
+// crosses shards and carries a positive propagation delay, and the
+// lookahead is exactly the cut's minimum delay.
+func TestPartitionCutsAreValidLookaheadBoundaries(t *testing.T) {
+	for _, cfg := range cityCases() {
+		bp := NewCity(cfg)
+		for shards := 1; shards <= cfg.Districts && shards <= 5; shards++ {
+			for seed := int64(0); seed < 4; seed++ {
+				p := PartitionBlueprint(bp, shards, seed)
+				var min time.Duration
+				for _, i := range p.Cuts() {
+					l := bp.Links[i]
+					if p.ShardOf(l.From) == p.ShardOf(l.To) {
+						t.Fatalf("districts=%d shards=%d seed=%d: cut %s->%s does not cross shards",
+							cfg.Districts, shards, seed, l.From, l.To)
+					}
+					if l.Delay <= 0 {
+						t.Fatalf("districts=%d shards=%d seed=%d: cut %s->%s has delay %v",
+							cfg.Districts, shards, seed, l.From, l.To, l.Delay)
+					}
+					if min == 0 || l.Delay < min {
+						min = l.Delay
+					}
+				}
+				if p.Lookahead() != min {
+					t.Fatalf("districts=%d shards=%d seed=%d: lookahead %v, min cut delay %v",
+						cfg.Districts, shards, seed, p.Lookahead(), min)
+				}
+				if shards == 1 && len(p.Cuts()) != 0 {
+					t.Fatalf("districts=%d seed=%d: single shard has %d cut links", cfg.Districts, seed, len(p.Cuts()))
+				}
+				if shards > 1 && len(p.Cuts()) == 0 && cfg.Districts > 1 {
+					t.Fatalf("districts=%d shards=%d seed=%d: ring partition produced no cuts",
+						cfg.Districts, shards, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionSeedDeterministic: the same (blueprint, shards, seed)
+// triple always yields an identical partition, and no link is silently
+// dropped — every blueprint link is either intra-shard or on the cut.
+func TestPartitionSeedDeterministic(t *testing.T) {
+	bp := NewCity(CityConfig{Districts: 8, HostsPerDistrict: 3})
+	for shards := 1; shards <= 4; shards++ {
+		for seed := int64(0); seed < 8; seed++ {
+			a := PartitionBlueprint(bp, shards, seed)
+			b := PartitionBlueprint(bp, shards, seed)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("shards=%d seed=%d: two partitions of the same inputs differ", shards, seed)
+			}
+			cut := make(map[int]bool, len(a.Cuts()))
+			for _, i := range a.Cuts() {
+				cut[i] = true
+			}
+			for i, l := range bp.Links {
+				crosses := a.ShardOf(l.From) != a.ShardOf(l.To)
+				if crosses != cut[i] {
+					t.Fatalf("shards=%d seed=%d: link %s->%s crosses=%v but cut-listed=%v",
+						shards, seed, l.From, l.To, crosses, cut[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionZeroDelayCutPanics: a blueprint whose only possible cut has
+// no propagation delay must be rejected, not silently accepted with a zero
+// lookahead.
+func TestPartitionZeroDelayCutPanics(t *testing.T) {
+	var bp Blueprint
+	bp.AddNode("a", 0)
+	bp.AddNode("b", 1)
+	bp.AddDuplex("a", "b", Mbps(10), 0, DefaultQueue)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partitioning across a zero-delay link did not panic")
+		}
+	}()
+	PartitionBlueprint(bp, 2, 1)
+}
+
+// TestPartitionRejectsMoreShardsThanDistricts: districts are atomic.
+func TestPartitionRejectsMoreShardsThanDistricts(t *testing.T) {
+	bp := NewCity(CityConfig{Districts: 2, HostsPerDistrict: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partitioning 2 districts into 3 shards did not panic")
+		}
+	}()
+	PartitionBlueprint(bp, 3, 0)
+}

@@ -27,6 +27,11 @@ type OnOffConfig struct {
 	MeanThink time.Duration
 	// Protocol carries each transfer (default TCP-SACK).
 	Protocol string
+	// OnFlow, when set, observes every transfer's flow right after its
+	// sender is attached and before it starts — the seam the sharded city
+	// uses to chain each short-lived connection onto its shard's
+	// conformance checker.
+	OnFlow func(f *tcp.Flow, protocol string)
 }
 
 func (c *OnOffConfig) fill() {
@@ -83,6 +88,10 @@ func NewOnOffSource(net *netem.Network, flowBase int, src, dst *netem.Node, fwd,
 	}
 }
 
+// FlowsStarted returns the number of transfers opened so far, completed
+// or not.
+func (s *OnOffSource) FlowsStarted() int { return s.flowSeq }
+
 // Start schedules the first transfer at the given time.
 func (s *OnOffSource) Start(at sim.Time) {
 	s.net.Scheduler().At(at, s.beginTransfer)
@@ -127,6 +136,9 @@ func (s *OnOffSource) beginTransfer() {
 		s.net.Scheduler().After(20*time.Millisecond, poll)
 	}
 	f.Attach(Factory(s.cfg.Protocol, PRParams{MaxDataPkts: target}))
+	if s.cfg.OnFlow != nil {
+		s.cfg.OnFlow(f, s.cfg.Protocol)
+	}
 	f.Start(s.net.Scheduler().Now())
 	s.net.Scheduler().After(20*time.Millisecond, poll)
 }

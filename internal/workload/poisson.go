@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"tcppr/internal/sim"
+)
+
+// PoissonStarts returns n flow-arrival times forming a Poisson process of
+// the given rate (arrivals per simulated second) beginning at base: the
+// gaps between consecutive arrivals are independent exponential draws.
+// The million-flow city uses this instead of an all-at-t=0 stampede (or
+// the uniform StaggeredStarts ramp) so flow arrivals carry the bursty
+// clustering real open-loop traffic has.
+//
+// The process is deterministic in the RNG: the same seeded *rand.Rand
+// always yields the same arrival times. Callers partitioning work across
+// shards should draw the whole process once, up front, from a stream that
+// does not depend on the shard count (the parallel city does exactly
+// this), and hand each shard its slice — that keeps arrival times
+// identical no matter how the topology is cut.
+func PoissonStarts(n int, base sim.Time, rate float64, rng *rand.Rand) []sim.Time {
+	if rate <= 0 {
+		panic("workload: PoissonStarts requires a positive rate")
+	}
+	if rng == nil {
+		panic("workload: PoissonStarts requires a seeded RNG")
+	}
+	out := make([]sim.Time, n)
+	t := base
+	for i := range out {
+		t += sim.Time(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		out[i] = t
+	}
+	return out
+}

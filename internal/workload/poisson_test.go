@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tcppr/internal/sim"
+)
+
+// TestPoissonStartsDeterministic: the same seed yields the same process;
+// different seeds yield different processes.
+func TestPoissonStartsDeterministic(t *testing.T) {
+	a := PoissonStarts(500, sim.Time(time.Second), 100, sim.NewRand(7))
+	b := PoissonStarts(500, sim.Time(time.Second), 100, sim.NewRand(7))
+	c := PoissonStarts(500, sim.Time(time.Second), 100, sim.NewRand(8))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identically seeded runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical processes")
+	}
+}
+
+// TestPoissonStartsStatistics: arrivals are ordered, start after base, and
+// the mean inter-arrival gap matches 1/rate within sampling tolerance.
+func TestPoissonStartsStatistics(t *testing.T) {
+	const n, rate = 20000, 50.0
+	base := sim.Time(time.Second)
+	starts := PoissonStarts(n, base, rate, sim.NewRand(42))
+	prev := base
+	var sum time.Duration
+	for i, s := range starts {
+		if s <= prev {
+			t.Fatalf("arrival %d at %v not after predecessor %v", i, s, prev)
+		}
+		sum += time.Duration(s - prev)
+		prev = s
+	}
+	mean := sum.Seconds() / n
+	if got, want := mean, 1/rate; math.Abs(got-want) > want*0.05 {
+		t.Fatalf("mean inter-arrival %.5fs, want %.5fs ± 5%%", got, want)
+	}
+}
