@@ -55,6 +55,10 @@ func main() {
 	metricsDir := flag.String("metrics", "", "directory to write time series + a run manifest into")
 	faultName := flag.String("faults", "", "canned fault scenario to inject at the bottleneck ('list' to enumerate)")
 	faultAt := flag.Duration("fault-at", 5*time.Second, "when the fault scenario's disruption begins")
+	hostFaultName := flag.String("host-faults", "", "canned host scenario to inject at the first destination host ('list' to enumerate)")
+	abortR1 := flag.Int("abort-r1", 0, "RFC 1122 R1: consecutive timeouts before notifying (0 disables)")
+	abortR2 := flag.Int("abort-r2", 0, "RFC 1122 R2: consecutive timeouts before aborting the connection (0 disables)")
+	abortUser := flag.Duration("abort-user-timeout", 0, "abort after this long without forward progress (0 disables)")
 	check := flag.Bool("check", false, "attach the invariant oracle; violations fail the run")
 	traceJSON := flag.String("trace", "", "write a Perfetto-loadable Chrome trace (ui.perfetto.dev) to this file")
 	traceTSV := flag.String("trace-tsv", "", "write the hop-level span TSV to this file")
@@ -65,6 +69,12 @@ func main() {
 	if *faultName == "list" {
 		for _, sc := range faults.Scenarios() {
 			fmt.Printf("%-12s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+	if *hostFaultName == "list" {
+		for _, sc := range faults.HostScenarios() {
+			fmt.Printf("%-16s %s\n", sc.Name, sc.Description)
 		}
 		return
 	}
@@ -86,18 +96,22 @@ func main() {
 	}
 
 	paths := tracePaths{json: *traceJSON, tsv: *traceTSV, flight: *flightPath}
+	fi := faultInject{
+		link: *faultName, host: *hostFaultName, at: *faultAt,
+		abort: tcp.AbortConfig{R1: *abortR1, R2: *abortR2, UserTimeout: *abortUser},
+	}
 	switch *topology {
 	case "dumbbell", "parkinglot":
-		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, *faultName, *faultAt, *seed, *check, paths)
+		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, fi, *seed, *check, paths)
 	case "multipath":
-		if *faultName != "" {
-			fmt.Fprintln(os.Stderr, "tcpsim: -faults targets a bottleneck and supports dumbbell|parkinglot only")
+		if fi.link != "" || fi.host != "" {
+			fmt.Fprintln(os.Stderr, "tcpsim: -faults/-host-faults support dumbbell|parkinglot only")
 			os.Exit(1)
 		}
 		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir, *check, paths)
 	case "city":
-		if *faultName != "" {
-			fmt.Fprintln(os.Stderr, "tcpsim: -faults targets a bottleneck and supports dumbbell|parkinglot only")
+		if fi.link != "" || fi.host != "" {
+			fmt.Fprintln(os.Stderr, "tcpsim: -faults/-host-faults support dumbbell|parkinglot only")
 			os.Exit(1)
 		}
 		runCity(*shards, *districts, *hosts, *sources, *duration, *seed, *check)
@@ -122,11 +136,21 @@ func (p tracePaths) suffixed(s string) tracePaths {
 	return tracePaths{json: suffixPath(p.json, s), tsv: suffixPath(p.tsv, s), flight: suffixPath(p.flight, s)}
 }
 
-func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir, faultName string, faultAt time.Duration, seed int64, check bool, paths tracePaths) {
+// faultInject bundles the CLI's fault-injection knobs: an optional link
+// scenario at the bottleneck, an optional host scenario at the first
+// destination, and the abort policy installed on every measurement flow.
+type faultInject struct {
+	link, host string
+	at         time.Duration
+	abort      tcp.AbortConfig
+}
+
+func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir string, fi faultInject, seed int64, check bool, paths tracePaths) {
 	sched := sim.NewScheduler()
 	var flowsOut []*workload.Flow
 	var bottlenecks []*netem.Link
 	var network *netem.Network
+	var firstDst *netem.Node
 	starts := workload.StaggeredStarts(n, 0, 5*time.Second)
 
 	switch topology {
@@ -134,9 +158,11 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: n})
 		network = d.Net
 		bottlenecks = []*netem.Link{d.Bottleneck}
+		firstDst = d.Dst(0)
 		for i := 0; i < n; i++ {
 			f := tcp.NewFlow(d.Net, i+1, d.Src(i), d.Dst(i),
 				routing.Static{Path: d.FwdPath(i)}, routing.Static{Path: d.RevPath(i)})
+			f.AbortPolicy = fi.abort
 			flowsOut = append(flowsOut, workload.NewFlow(f, protos[i%len(protos)], pr, starts[i]))
 		}
 	case "parkinglot":
@@ -145,9 +171,11 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		bottlenecks = []*netem.Link{
 			p.Net.FindLink("r1", "r2"), p.Net.FindLink("r2", "r3"), p.Net.FindLink("r3", "r4"),
 		}
+		firstDst = p.Dst(0)
 		for i := 0; i < n; i++ {
 			f := tcp.NewFlow(p.Net, i+1, p.Src(i), p.Dst(i),
 				routing.Static{Path: p.MainFwd(i)}, routing.Static{Path: p.MainRev(i)})
+			f.AbortPolicy = fi.abort
 			flowsOut = append(flowsOut, workload.NewFlow(f, protos[i%len(protos)], pr, starts[i]))
 		}
 		for i, cp := range topo.CrossPairs() {
@@ -158,8 +186,11 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 	}
 
 	name := "tcpsim_" + topology
-	if faultName != "" {
-		name += "_" + faultName
+	if fi.link != "" {
+		name += "_" + fi.link
+	}
+	if fi.host != "" {
+		name += "_" + fi.host
 	}
 	ob := newObserver(metricsDir, name, sched)
 	ob.observe(flowsOut, bottlenecks)
@@ -168,26 +199,46 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 	defer tr.dumpOnPanic()
 	tr.armChecker(ck)
 
-	// Scripted faults hit the first bottleneck hop (both directions).
+	// Scripted faults: link scenarios hit the first bottleneck hop (both
+	// directions), host scenarios hit the first destination host. Both
+	// build into one timeline so a single Install covers either or both.
 	var tl *faults.Timeline
-	if faultName != "" {
-		sc, err := faults.ScenarioByName(faultName)
-		if err != nil {
-			fatalErr(err)
-		}
-		fwd := bottlenecks[0]
-		rev := network.FindLink(fwd.To.Name, fwd.From.Name)
+	if fi.link != "" || fi.host != "" {
 		tl = faults.NewTimeline()
 		if ob != nil {
 			tl.Instrument(ob.reg)
+			faults.InstrumentHostDrops(ob.reg, network)
 		}
 		tr.armTimeline(tl)
-		sc.Build(tl, fwd, rev, faultAt, seed)
+		if fi.link != "" {
+			sc, err := faults.ScenarioByName(fi.link)
+			if err != nil {
+				fatalErr(err)
+			}
+			fwd := bottlenecks[0]
+			rev := network.FindLink(fwd.To.Name, fwd.From.Name)
+			sc.Build(tl, fwd, rev, fi.at, seed)
+			fmt.Printf("faults: scenario %q on %s starting at %v (%s)\n", sc.Name, fwd, fi.at, sc.Description)
+		}
+		if fi.host != "" {
+			sc, err := faults.HostScenarioByName(fi.host)
+			if err != nil {
+				fatalErr(err)
+			}
+			sc.Build(tl, firstDst, sim.Time(fi.at))
+			fmt.Printf("faults: host scenario %q on %s starting at %v (%s)\n", sc.Name, firstDst.Name, fi.at, sc.Description)
+		}
 		tl.Install(sched)
-		fmt.Printf("faults: scenario %q on %s starting at %v (%s)\n\n", sc.Name, fwd, faultAt, sc.Description)
+		fmt.Println()
 	}
 
 	measureAndReport(sched, flowsOut, warm, dur)
+	for _, wf := range flowsOut {
+		if wf.Flow.Aborted() {
+			fmt.Printf("flow %d (%s) aborted at %v: %s\n", wf.ID, wf.Protocol,
+				time.Duration(wf.Flow.AbortedAt()), wf.Flow.AbortCause())
+		}
+	}
 	if tl != nil {
 		fmt.Printf("\nfault events applied:\n%s", tl.EventsTSV())
 		if ob != nil {
@@ -386,11 +437,17 @@ func measureAndReport(sched *sim.Scheduler, flows []*workload.Flow, warm, dur ti
 	for i, f := range flows {
 		bytes[i] = float64(f.WindowBytes())
 	}
+	// Normalized returns nil when nothing was delivered — possible now
+	// that a host fault can kill every flow before the window opens.
 	norm := stats.Normalized(bytes)
 	fmt.Printf("%-4s %-10s %10s %10s\n", "flow", "protocol", "mbps", "normalized")
 	for i, f := range flows {
+		n := 0.0
+		if norm != nil {
+			n = norm[i]
+		}
 		fmt.Printf("%-4d %-10s %10.2f %10.3f\n", f.ID, f.Protocol,
-			stats.Mbps(stats.Throughput(f.WindowBytes(), dur)), norm[i])
+			stats.Mbps(stats.Throughput(f.WindowBytes(), dur)), n)
 	}
 	labels, series := workload.ByProtocol(flows, dur)
 	fmt.Println()

@@ -232,6 +232,7 @@ type Sender struct {
 
 	pausedUntil sim.Time // extreme-loss send pause
 	resumeTimer *sim.Timer
+	stopped     bool // set by Stop (connection abort); flush refuses to send
 	checkDropFn func(any) // prebound trampoline for per-packet loss timers
 	lastRetx    sim.Time  // time of the last retransmission (see checkDrop)
 	hasRetx     bool
@@ -378,6 +379,7 @@ func (s *Sender) OnAck(ack tcp.Ack) {
 	}
 	s.una = cum
 	s.dupTicks = 0
+	s.env.ReportProgress()
 
 	// Anything the receiver now holds no longer needs retransmission.
 	s.retxQueue.DropBelow(cum)
@@ -584,7 +586,12 @@ func (s *Sender) onDrop(seq int64, f *flight, revealed bool) {
 	} else if s.cwnd <= 1 {
 		// Further drops while the window is already at one segment
 		// double mxrtt instead of halving (the paper's emulation of
-		// RTO exponential back-off, §3.2).
+		// RTO exponential back-off, §3.2). Each doubling is one
+		// RTO-equivalent for the RFC 1122 R1/R2 lifecycle.
+		if !s.env.ReportTimeout() {
+			s.putFlight(f)
+			return // connection aborted; Stop has already run
+		}
 		s.mxrtt *= 2
 		if s.mxrtt > s.cfg.MaxBackoff {
 			s.mxrtt = s.cfg.MaxBackoff
@@ -645,8 +652,15 @@ func (s *Sender) exitExtremeRec() {
 // extend the send pause.
 func (s *Sender) extremeLoss() {
 	if s.cwnd <= 1 && s.mode == SlowStart {
+		// Same burst, same episode: extending the pause is not a new
+		// RTO-equivalent, so it doesn't advance the R1/R2 count.
 		s.pause(s.mxrtt)
 		return
+	}
+	// The §3.2 reset is TCP-PR's coarse timeout; report it as one
+	// RTO-equivalent to the connection lifecycle before reacting.
+	if !s.env.ReportTimeout() {
+		return // connection aborted; Stop has already run
 	}
 	s.ExtremeEvents++
 	if s.probe != nil {
@@ -688,6 +702,9 @@ func (s *Sender) pause(d time.Duration) {
 // (spurious) drop declarations. This mirrors fast recovery's treatment of
 // the pre-reduction flight in standard TCP.
 func (s *Sender) flush() {
+	if s.stopped {
+		return
+	}
 	now := s.env.Now()
 	if now < s.pausedUntil {
 		if !s.resumeTimer.Pending() {
@@ -760,6 +777,28 @@ func (s *Sender) peekNext() (seq int64, ok bool) {
 // Done reports whether a finite transfer has been fully acknowledged.
 func (s *Sender) Done() bool {
 	return s.cfg.MaxData > 0 && s.una >= s.cfg.MaxData
+}
+
+// Stop cancels everything the sender has pending — the resume timer and
+// every per-packet loss timer on the to-be-ack list, whose entries go back
+// to the pool — implementing tcp.Stopper for connection aborts. The flow
+// guards subsequent OnAck deliveries, so a stopped sender never re-arms.
+func (s *Sender) Stop() {
+	s.stopped = true
+	s.resumeTimer.Stop()
+	for seq, f := range s.inflight {
+		delete(s.inflight, seq)
+		s.putFlight(f) // cancels the flight's loss timer
+	}
+	s.memorizeCount = 0
+	s.dupTicks = 0
+}
+
+// Quiescent reports whether the sender holds no pending timers (no
+// in-flight loss timers, no resume timer); the invariant checker asserts
+// it right after an abort.
+func (s *Sender) Quiescent() bool {
+	return len(s.inflight) == 0 && !s.resumeTimer.Pending()
 }
 
 // nextToSend pops the smallest sequence from the to-be-sent list:

@@ -422,4 +422,34 @@ var specs = []Spec{
 			return rep.finish(cfg, inv, "faultmatrix", true)
 		},
 	},
+	{
+		Name:     "churnmatrix",
+		Describe: "Endpoint-churn matrix: retrying workloads against host blip/reboot/flap/death",
+		Run: func(cfg RunConfig) (Report, error) {
+			inv := cfg.invariants()
+			c := ChurnMatrixConfig{Seed: cfg.Seed, Metrics: cfg.Metrics, Invariants: inv, Trace: cfg.Trace}
+			// Like the fault matrix, this measures absolute simulated
+			// time; Quick/Smoke trim the run and the protocol set.
+			if cfg.Smoke || cfg.Durations == Quick {
+				// 90s covers the worst double-cold abort ladder for TCP-PR
+				// (~FaultAt + one ~39s cold ladder per attempt plus backoff),
+				// so the host-dead column shows real give-ups.
+				c.Total = 90 * time.Second
+				c.FaultAt = 3 * time.Second
+				c.Protocols = []string{workload.TCPPR, workload.TCPSACK, workload.NewReno}
+			}
+			res, err := RunChurnMatrix(c)
+			if err != nil {
+				return nil, err
+			}
+			rep := report{
+				tables: []*Table{res.Table()},
+				csvs: []CSVFile{
+					{"churnmatrix.csv", res.Table()},
+					{"churnmatrix_events.csv", res.EventsTable()},
+				},
+			}
+			return rep.finish(cfg, inv, "churnmatrix", true)
+		},
+	},
 }

@@ -32,6 +32,8 @@ type Kind string
 const (
 	LinkDown  Kind = "link_down"
 	LinkUp    Kind = "link_up"
+	HostDown  Kind = "host_down"
+	HostUp    Kind = "host_up"
 	Bandwidth Kind = "bandwidth"
 	Delay     Kind = "delay"
 	Loss      Kind = "loss"
@@ -45,7 +47,8 @@ type Event struct {
 	At sim.Time
 	// Kind classifies the action.
 	Kind Kind
-	// Link names the affected link ("" for link-independent actions).
+	// Link names the affected link, or the affected host for node-targeted
+	// faults (HostDown/HostUp); "" for target-independent actions.
 	Link string
 	// Note is the human-readable detail, e.g. "bandwidth 15 -> 7.5 Mbps".
 	Note string
@@ -63,6 +66,9 @@ type Fault struct {
 	Kind Kind
 	// Link is the affected link (nil for link-independent actions).
 	Link *netem.Link
+	// Node is the affected host for node-targeted faults (HostDown/HostUp);
+	// its name takes the Link column of the event log.
+	Node *netem.Node
 	// Note describes the action for event logs.
 	Note string
 	// Apply performs the action. It runs on the scheduler at At.
@@ -80,6 +86,7 @@ type Timeline struct {
 	faults    []Fault
 	applied   []Event
 	reg       *metrics.Registry
+	sched     *sim.Scheduler
 	installed bool
 }
 
@@ -87,10 +94,13 @@ type Timeline struct {
 func NewTimeline() *Timeline { return &Timeline{} }
 
 // Add appends one fault. At must be non-negative and Apply non-nil.
+//
+// After Install the timeline becomes a live control channel: a fault added
+// then is scheduled immediately on the run's scheduler (so scripted
+// reboots and retry workloads can extend the script mid-run), and a fault
+// whose time has already passed panics — silently never firing was the old
+// footgun this replaces.
 func (t *Timeline) Add(f Fault) {
-	if t.installed {
-		panic("faults: Add after Install")
-	}
 	if f.At < 0 {
 		panic(fmt.Sprintf("faults: fault %q scheduled at negative time %v", f.Kind, f.At))
 	}
@@ -99,6 +109,15 @@ func (t *Timeline) Add(f Fault) {
 	}
 	if f.Kind == "" {
 		f.Kind = Custom
+	}
+	if t.installed {
+		if f.At < t.sched.Now() {
+			panic(fmt.Sprintf("faults: fault %q added at %v, after its own time %v — an installed timeline can only schedule forward",
+				f.Kind, t.sched.Now(), f.At))
+		}
+		t.faults = append(t.faults, f)
+		t.sched.At(f.At, func() { t.fire(f) })
+		return
 	}
 	t.faults = append(t.faults, f)
 }
@@ -128,6 +147,7 @@ func (t *Timeline) Install(sched *sim.Scheduler) {
 		panic("faults: timeline installed twice")
 	}
 	t.installed = true
+	t.sched = sched
 	// Sort by (time, insertion order) so the application order is the
 	// script order regardless of how helpers appended their actions.
 	sort.SliceStable(t.faults, func(i, j int) bool { return t.faults[i].At < t.faults[j].At })
@@ -143,7 +163,11 @@ func (t *Timeline) Install(sched *sim.Scheduler) {
 // fire applies one fault and records it.
 func (t *Timeline) fire(f Fault) {
 	f.Apply()
-	ev := Event{At: f.At, Kind: f.Kind, Link: linkName(f.Link), Note: f.Note}
+	target := linkName(f.Link)
+	if f.Node != nil {
+		target = f.Node.Name
+	}
+	ev := Event{At: f.At, Kind: f.Kind, Link: target, Note: f.Note}
 	t.applied = append(t.applied, ev)
 	if t.reg != nil {
 		t.reg.Counter("faults.applied").Inc()
@@ -174,6 +198,76 @@ func (t *Timeline) Blackout(l *netem.Link, from, until sim.Time) {
 	t.Add(Fault{At: until, Kind: LinkUp, Link: l,
 		Note:  "restored",
 		Apply: func() { l.SetDown(false) }})
+}
+
+// HostDownAt detaches a host at the given time: every link touching the
+// node kills traffic (rejections at enqueue, in-flight destruction at
+// delivery) with drop cause netem.DropHostDown, so the node's flows stop
+// responding entirely — the endpoint-churn counterpart of Blackout.
+func (t *Timeline) HostDownAt(n *netem.Node, at sim.Time) {
+	t.Add(Fault{At: at, Kind: HostDown, Node: n,
+		Note:  "host down",
+		Apply: func() { n.SetDown(true) }})
+}
+
+// HostUpAt reattaches a host at the given time (a reboot completing). The
+// node's flow handlers survived the outage, so connections that have not
+// aborted resume where the wire left them.
+func (t *Timeline) HostUpAt(n *netem.Node, at sim.Time) {
+	t.Add(Fault{At: at, Kind: HostUp, Node: n,
+		Note:  "host up",
+		Apply: func() { n.SetDown(false) }})
+}
+
+// HostReboot scripts one outage: the host goes down at from and comes back
+// at until.
+func (t *Timeline) HostReboot(n *netem.Node, from, until sim.Time) {
+	if until <= from {
+		panic(fmt.Sprintf("faults: host %s reboot ends at %v, before start %v", n.Name, until, from))
+	}
+	t.Add(Fault{At: from, Kind: HostDown, Node: n,
+		Note:  fmt.Sprintf("down for %v (reboot)", until-from),
+		Apply: func() { n.SetDown(true) }})
+	t.HostUpAt(n, until)
+}
+
+// HostFlap scripts a flapping host: alternating down/up cycles starting at
+// from, each cycle downFor out then upFor back, until the down edge would
+// land at or past until. The host always comes back up (the last cycle's
+// up edge may land past until) — script a trailing HostDownAt for a flap
+// that ends dead.
+func (t *Timeline) HostFlap(n *netem.Node, from, until sim.Time, downFor, upFor time.Duration) {
+	if downFor <= 0 || upFor <= 0 {
+		panic(fmt.Sprintf("faults: host %s flap needs positive down/up periods", n.Name))
+	}
+	cycle := 0
+	for at := from; at < until; at += sim.Time(downFor + upFor) {
+		cycle++
+		t.Add(Fault{At: at, Kind: HostDown, Node: n,
+			Note:  fmt.Sprintf("flap %d: down for %v", cycle, downFor),
+			Apply: func() { n.SetDown(true) }})
+		t.Add(Fault{At: at + sim.Time(downFor), Kind: HostUp, Node: n,
+			Note:  fmt.Sprintf("flap %d: up for %v", cycle, upFor),
+			Apply: func() { n.SetDown(false) }})
+	}
+}
+
+// InstrumentHostDrops registers the "faults.host_down_drops" gauge: the
+// network-wide total of packets destroyed by host faults, summed over
+// every link's HostDownDropped counter at read time. Pair with
+// Timeline.Instrument so churn runs export both the fault events and their
+// packet toll.
+func InstrumentHostDrops(reg *metrics.Registry, net *netem.Network) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("faults.host_down_drops", func() float64 {
+		var total uint64
+		for _, l := range net.Links() {
+			total += l.Stats().HostDownDropped
+		}
+		return float64(total)
+	})
 }
 
 // BandwidthStep changes a link's serialization rate at the given time.

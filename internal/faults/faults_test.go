@@ -81,8 +81,9 @@ func TestTimelineAppliesInOrder(t *testing.T) {
 	}
 }
 
-// TestTimelineValidation pins the misuse panics: scripting after install,
-// installing twice, inverted blackout intervals, negative times.
+// TestTimelineValidation pins the misuse panics: scheduling into the past
+// on an installed timeline, installing twice, inverted blackout intervals,
+// negative times.
 func TestTimelineValidation(t *testing.T) {
 	sched := sim.NewScheduler()
 	net := netem.NewNetwork(sched)
@@ -101,9 +102,11 @@ func TestTimelineValidation(t *testing.T) {
 		"zero-step ramp": func() {
 			NewTimeline().LossRamp(l, 0, time.Second, 0, 0.5, 0, sim.NewRand(1))
 		},
-		"add after install": func() {
+		"add in the past after install": func() {
+			late := sim.NewScheduler()
+			late.RunUntil(sim.Time(2 * time.Second))
 			tl := NewTimeline()
-			tl.Install(sched)
+			tl.Install(late)
 			tl.DelayStep(l, time.Second, time.Millisecond)
 		},
 		"double install": func() {
@@ -274,6 +277,91 @@ func TestScenarioDeterminism(t *testing.T) {
 		}
 		if st1 != st2 {
 			t.Errorf("scenario %q: link stats differ across same-seed runs:\n%+v\nvs\n%+v", sc.Name, st1, st2)
+		}
+	}
+}
+
+// TestAddAfterInstallSchedulesLive is the regression test for the old
+// footgun where a fault added after Install silently never fired: an
+// installed timeline now schedules forward-dated faults immediately on the
+// run's scheduler, both through Add directly and through the helpers.
+func TestAddAfterInstallSchedulesLive(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	l := net.AddLink("a", "b", mbps(10), 0, 10)
+
+	tl := NewTimeline()
+	tl.Install(sched)
+
+	fired := false
+	tl.Add(Fault{At: sim.Time(time.Second), Kind: Custom, Note: "live add",
+		Apply: func() { fired = true }})
+	sched.RunUntil(sim.Time(2 * time.Second))
+	if !fired {
+		t.Fatal("fault added after Install never fired")
+	}
+	if got := len(tl.Applied()); got != 1 {
+		t.Fatalf("Applied() has %d events, want 1", got)
+	}
+
+	// Helpers route through Add and so schedule live too.
+	tl.DelayStep(l, sim.Time(3*time.Second), 5*time.Millisecond)
+	sched.RunUntil(sim.Time(4 * time.Second))
+	if l.Delay != 5*time.Millisecond {
+		t.Fatalf("live DelayStep not applied: delay = %v", l.Delay)
+	}
+
+	// An add at exactly now fires (At >= now is legal), in event order.
+	now := sched.Now()
+	sameTick := false
+	tl.Add(Fault{At: now, Kind: Custom, Note: "at now",
+		Apply: func() { sameTick = true }})
+	sched.RunUntil(now + 1)
+	if !sameTick {
+		t.Fatal("fault added at the current instant never fired")
+	}
+}
+
+// TestHostFaultTimeline pins the host-fault kinds: HostReboot detaches and
+// reattaches a node, HostFlap alternates, the event log carries the host
+// name in the link column, and instrumented runs count faults.host_down /
+// faults.host_up.
+func TestHostFaultTimeline(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netem.NewNetwork(sched)
+	net.AddDuplex("src", "dst", mbps(10), time.Millisecond, 10)
+	dst := net.Node("dst")
+
+	reg := metrics.New()
+	tl := NewTimeline()
+	tl.Instrument(reg)
+	tl.HostReboot(dst, sim.Time(time.Second), sim.Time(2*time.Second))
+	tl.HostFlap(dst, sim.Time(3*time.Second), sim.Time(5*time.Second),
+		500*time.Millisecond, 500*time.Millisecond)
+	tl.Install(sched)
+
+	sched.RunUntil(sim.Time(1500 * time.Millisecond))
+	if !dst.IsDown() {
+		t.Fatal("host not down during reboot window")
+	}
+	sched.RunUntil(sim.Time(2500 * time.Millisecond))
+	if dst.IsDown() {
+		t.Fatal("host still down after reboot completed")
+	}
+	sched.RunUntil(sim.Time(6 * time.Second))
+	if dst.IsDown() {
+		t.Fatal("host left down after flap ended")
+	}
+
+	if got, want := reg.Counter("faults.host_down").Value(), uint64(3); got != want {
+		t.Errorf("faults.host_down = %d, want %d", got, want)
+	}
+	if got, want := reg.Counter("faults.host_up").Value(), uint64(3); got != want {
+		t.Errorf("faults.host_up = %d, want %d", got, want)
+	}
+	for _, e := range tl.Applied() {
+		if e.Link != "dst" {
+			t.Errorf("host fault event names %q, want host name dst", e.Link)
 		}
 	}
 }

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tcppr/internal/netem"
+	"tcppr/internal/sim"
+)
+
+// HostScenario is a canned endpoint-churn timeline targeting one host
+// node, the node-level counterpart of Scenario: the Build hook scripts
+// HostDown/HostUp faults on the target starting at the given virtual time.
+// The endpoint-churn matrix (experiments.ChurnMatrix) and the tcpsim
+// -faults flag iterate over these.
+type HostScenario struct {
+	// Name is the stable identifier ("host-reboot-5s", ...).
+	Name string
+	// Description is one line for tables and docs.
+	Description string
+	// Disrupt is how long after start the host is stably reattached;
+	// start+Disrupt is when recovery clocks begin. Permanent scenarios
+	// never recover (Disrupt is the horizon-independent marker 0).
+	Disrupt time.Duration
+	// Permanent marks scenarios whose host never comes back: every flow
+	// terminating through R2 abort + workload give-up is then the
+	// *correct* outcome, not a failure.
+	Permanent bool
+	// Build appends the scenario's faults to tl. All host scenarios are
+	// RNG-free, so same-seed runs replay identically by construction.
+	Build func(tl *Timeline, host *netem.Node, start sim.Time)
+}
+
+// HostScenarios returns the canned endpoint-churn timelines, sorted by
+// name. Each probes a different question: a sub-RTO blip (does anyone
+// abort spuriously?), a reboot spanning several RTOs (who reconnects
+// fastest?), a flapping host (does backoff thrash?), and permanent death
+// (does everyone terminate in bounded time?).
+func HostScenarios() []HostScenario {
+	s := []HostScenario{
+		{
+			Name:        "host-blip-500ms",
+			Description: "peer host down for 500ms — shorter than any RTO floor; nobody should abort",
+			Disrupt:     500 * time.Millisecond,
+			Build: func(tl *Timeline, host *netem.Node, start sim.Time) {
+				tl.HostReboot(host, start, start+sim.Time(500*time.Millisecond))
+			},
+		},
+		{
+			Name:        "host-reboot-5s",
+			Description: "peer host down for 5s then rebooted (several RTO backoffs deep)",
+			Disrupt:     5 * time.Second,
+			Build: func(tl *Timeline, host *netem.Node, start sim.Time) {
+				tl.HostReboot(host, start, start+sim.Time(5*time.Second))
+			},
+		},
+		{
+			Name:        "host-flap-3x",
+			Description: "peer host flaps 3 times: 1.5s down, 1.5s up (churning endpoint)",
+			Disrupt:     9 * time.Second,
+			Build: func(tl *Timeline, host *netem.Node, start sim.Time) {
+				tl.HostFlap(host, start, start+sim.Time(9*time.Second),
+					1500*time.Millisecond, 1500*time.Millisecond)
+			},
+		},
+		{
+			Name:        "host-dead",
+			Description: "peer host dies permanently — every flow must abort via R2 and the workload must give up",
+			Permanent:   true,
+			Build: func(tl *Timeline, host *netem.Node, start sim.Time) {
+				tl.HostDownAt(host, start)
+			},
+		},
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+// HostScenarioByName looks a host scenario up by its stable name.
+func HostScenarioByName(name string) (HostScenario, error) {
+	for _, sc := range HostScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return HostScenario{}, fmt.Errorf("faults: unknown host scenario %q (have %v)", name, HostScenarioNames())
+}
+
+// HostScenarioNames returns the canned host scenario names, sorted.
+func HostScenarioNames() []string {
+	var names []string
+	for _, sc := range HostScenarios() {
+		names = append(names, sc.Name)
+	}
+	return names
+}

@@ -181,6 +181,7 @@ func (c *Checker) AttachFlow(f *tcp.Flow, protocol string) {
 		OnDataRecv: fs.onDataRecv,
 		OnAckSent:  fs.onAckSent,
 		OnAckRecv:  fs.onAckRecv,
+		OnAbort:    fs.onAbort,
 	}.Chain(f.Hooks)
 }
 
@@ -191,6 +192,7 @@ func (c *Checker) Finish() {
 	for _, fs := range c.order {
 		fs.probe()
 		fs.checkConservation(true)
+		fs.finishAbort()
 	}
 	for _, w := range c.links {
 		w.check()

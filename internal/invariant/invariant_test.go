@@ -171,3 +171,69 @@ func TestMaxRecordCapsStorage(t *testing.T) {
 		t.Errorf("recorded %d violations, cap was 1", len(c.Violations()))
 	}
 }
+
+// TestCleanAbortUnderHostDeath drives every sender engine family into an
+// R2 abort by killing the peer host mid-transfer, with the checker
+// attached: the abort rules (silence after abort, R2 threshold respected,
+// sender fully quiescent) must all hold, and the run must stay
+// violation-free — an abort is conformant behavior, not an error.
+func TestCleanAbortUnderHostDeath(t *testing.T) {
+	for _, proto := range []string{workload.TCPPR, workload.TCPSACK, workload.NewReno, workload.TDFR} {
+		t.Run(proto, func(t *testing.T) {
+			sched := sim.NewScheduler()
+			d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+			c := New(sched)
+			c.AttachNetwork(d.Net)
+			f := tcp.NewFlow(d.Net, 1, d.Src(0), d.Dst(0),
+				routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
+			f.AbortPolicy = tcp.AbortConfig{R1: 2, R2: 4}
+			workload.NewFlow(f, proto, workload.PRParams{Alpha: 0.995, Beta: 3}, 0)
+			c.AttachFlow(f, proto)
+			sched.At(sim.Time(200*time.Millisecond), func() { d.Dst(0).SetDown(true) })
+
+			sched.RunUntil(sim.Time(5 * time.Minute))
+			c.Finish()
+			if !f.Aborted() {
+				t.Fatal("flow never aborted against a dead peer")
+			}
+			if got := f.AbortCause(); got != tcp.AbortR2 {
+				t.Errorf("abort cause = %s, want r2-retx", got)
+			}
+			if c.Total() != 0 {
+				t.Fatalf("abort run reported violations: %v", c.Err())
+			}
+			if n := sched.Len(); n != 0 {
+				t.Errorf("%d events still pending after abort: leaked timers", n)
+			}
+		})
+	}
+}
+
+// TestAbortRulesCatchMisbehavior force-feeds the checker a hand-rolled
+// abort protocol breach: transmitting after Flow.Abort must trip
+// abort-silence, and aborting below the R2 budget must trip abort-r2.
+func TestAbortRulesCatchMisbehavior(t *testing.T) {
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	c := New(sched)
+	f := tcp.NewFlow(d.Net, 1, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
+	f.AbortPolicy = tcp.AbortConfig{R2: 5}
+	workload.NewFlow(f, workload.TCPSACK, workload.PRParams{}, 0)
+	c.AttachFlow(f, workload.TCPSACK)
+
+	sched.RunUntil(sim.Time(50 * time.Millisecond))
+	// Abort externally: zero consecutive timeouts is fine for an external
+	// abort (only R2 aborts must meet the budget)...
+	f.Abort(tcp.AbortExternal)
+	// ...but the transmit seam must now refuse and report.
+	env := f.Env()
+	env.Transmit(tcp.Seg{Seq: 999, Stamp: sched.Now()})
+	found := map[string]bool{}
+	for _, v := range c.Violations() {
+		found[v.Rule] = true
+	}
+	if !found["abort-silence"] {
+		t.Errorf("transmit after abort not flagged; got %v", c.Violations())
+	}
+}

@@ -45,6 +45,11 @@ type flowState struct {
 	// Sender-agnostic segment stream.
 	lastTxSeq int64
 
+	// Abort lifecycle (RFC 1122 §4.2.3.5).
+	aborted     bool
+	abortAt     sim.Time
+	abortReason tcp.AbortReason
+
 	pr  *prState
 	rfc *rfcState
 }
@@ -104,6 +109,15 @@ func (fs *flowState) checkConservation(final bool) {
 }
 
 func (fs *flowState) onDataSent(seg tcp.Seg, now sim.Time) {
+	// An aborted connection transmits nothing, ever: the transmit seam
+	// still fires the hook for refused segments precisely so this rule
+	// can see a sender that keeps trying.
+	if fs.aborted {
+		fs.violatef("abort-silence",
+			"data segment %d transmitted at %v after abort (%s at %v)",
+			seg.Seq, now, fs.abortReason, fs.abortAt)
+		return
+	}
 	fs.probe()
 	fs.dataSent++
 
@@ -186,6 +200,47 @@ func (fs *flowState) onAckRecv(ack tcp.Ack, now sim.Time) {
 		fs.rfc.onAckRecv(ack, now)
 	}
 	fs.checkConservation(false)
+}
+
+// onAbort checks the terminal transition itself: aborts fire once, an R2
+// abort must actually have burned through the configured retransmission
+// budget (no premature give-up), and every sender timer must already be
+// cancelled when the hook runs — Flow.Abort stops the machinery before
+// notifying, so a pending timer here is a leak.
+func (fs *flowState) onAbort(reason tcp.AbortReason, now sim.Time) {
+	fs.probe()
+	if fs.aborted {
+		fs.violatef("abort-once", "second abort (%s) after %s at %v", reason, fs.abortReason, fs.abortAt)
+		return
+	}
+	fs.aborted, fs.abortReason, fs.abortAt = true, reason, now
+
+	cfg := fs.f.AbortPolicy
+	if reason == tcp.AbortR2 {
+		if cfg.R2 <= 0 {
+			fs.violatef("abort-r2", "R2 abort on a flow with no R2 policy")
+		} else if got := fs.f.ConsecutiveTimeouts(); got < cfg.R2 {
+			fs.violatef("abort-r2",
+				"aborted after %d consecutive timeouts, policy requires %d", got, cfg.R2)
+		}
+	}
+	fs.checkAbortQuiescent("abort-quiescent")
+}
+
+// checkAbortQuiescent asserts the aborted sender holds no pending timers
+// or in-flight tracking.
+func (fs *flowState) checkAbortQuiescent(rule string) {
+	if q, ok := fs.f.Sender().(interface{ Quiescent() bool }); ok && !q.Quiescent() {
+		fs.violatef(rule, "aborted sender still holds pending timers or in-flight state")
+	}
+}
+
+// finishAbort re-checks quiescence at end of run: a timer re-armed any
+// time after the abort would pass the instant check but show up here.
+func (fs *flowState) finishAbort() {
+	if fs.aborted {
+		fs.checkAbortQuiescent("abort-quiescent-final")
+	}
 }
 
 func containedInBlocks(b tcp.SackBlock, blocks []tcp.SackBlock) bool {

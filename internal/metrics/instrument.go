@@ -64,6 +64,19 @@ func InstrumentFlow(sp *Sampler, reg *Registry, f *tcp.Flow, prefix string) {
 			reg.GaugeFunc(prefix+".una", func() float64 { return float64(s.Una()) })
 		}
 
+		// Abort lifecycle (RFC 1122 §4.2.3.5): terminal state as a 0/1
+		// gauge, the timeout ladder totals, and one counter per abort
+		// cause so the churn matrix can distinguish R2 from user-timeout
+		// give-ups without holding the flow object.
+		reg.GaugeFunc(prefix+".aborted", func() float64 {
+			if f.Aborted() {
+				return 1
+			}
+			return 0
+		})
+		reg.GaugeFunc(prefix+".timeout_retx", func() float64 { return float64(f.TimeoutRetx()) })
+		reg.GaugeFunc(prefix+".r1_notifies", func() float64 { return float64(f.R1Notifies()) })
+
 		dataRecv := reg.Counter(prefix + ".data_recv")
 		retxRecv := reg.Counter(prefix + ".retx_recv")
 		ackRecv := reg.Counter(prefix + ".acks_recv")
@@ -75,6 +88,9 @@ func InstrumentFlow(sp *Sampler, reg *Registry, f *tcp.Flow, prefix string) {
 				}
 			},
 			OnAckRecv: func(tcp.Ack, sim.Time) { ackRecv.Inc() },
+			OnAbort: func(reason tcp.AbortReason, _ sim.Time) {
+				reg.Counter(prefix + ".abort." + reason.String()).Inc()
+			},
 		}.Chain(f.Hooks)
 	}
 
@@ -124,6 +140,7 @@ func InstrumentLink(sp *Sampler, reg *Registry, l *netem.Link, prefix string) {
 		reg.GaugeFunc(prefix+".red_dropped", func() float64 { return float64(l.Stats().REDDropped) })
 		reg.GaugeFunc(prefix+".random_dropped", func() float64 { return float64(l.Stats().RandomDropped) })
 		reg.GaugeFunc(prefix+".blackout_dropped", func() float64 { return float64(l.Stats().BlackoutDropped) })
+		reg.GaugeFunc(prefix+".host_down_dropped", func() float64 { return float64(l.Stats().HostDownDropped) })
 		reg.GaugeFunc(prefix+".corrupted", func() float64 { return float64(l.Stats().Corrupted) })
 		reg.GaugeFunc(prefix+".duplicated", func() float64 { return float64(l.Stats().Duplicated) })
 		reg.GaugeFunc(prefix+".delivered", func() float64 { return float64(l.Stats().Delivered) })

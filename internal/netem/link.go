@@ -27,6 +27,10 @@ type LinkStats struct {
 	// Corrupted is the number of packets that traversed the link but were
 	// discarded at the far end with a broken checksum (SetCorruption).
 	Corrupted uint64
+	// HostDownDropped is the number of packets killed because an endpoint
+	// host of this link was down (Node.SetDown): rejections at enqueue plus
+	// in-flight packets destroyed on delivery.
+	HostDownDropped uint64
 	// Duplicated is the number of extra packet copies the link delivered
 	// (SetDuplication); each copy also counts in Delivered.
 	Duplicated uint64
@@ -42,13 +46,17 @@ type LinkStats struct {
 }
 
 // DropRate returns the fraction of offered packets that were lost on this
-// link: queue overflow, random loss, blackout rejections, and corruption.
+// link: queue overflow, random loss, blackout rejections, corruption, and
+// host-down kills. HostDownDropped mixes enqueue rejections (offered here)
+// with in-flight kills (already counted in Enqueued), so offered slightly
+// overcounts while a host fault is active; the rate stays a faithful
+// "fraction of traffic this link destroyed" either way.
 func (s LinkStats) DropRate() float64 {
-	offered := s.Enqueued + s.Dropped + s.REDDropped + s.RandomDropped + s.BlackoutDropped
+	offered := s.Enqueued + s.Dropped + s.REDDropped + s.RandomDropped + s.BlackoutDropped + s.HostDownDropped
 	if offered == 0 {
 		return 0
 	}
-	lost := s.Dropped + s.REDDropped + s.RandomDropped + s.BlackoutDropped + s.Corrupted
+	lost := s.Dropped + s.REDDropped + s.RandomDropped + s.BlackoutDropped + s.Corrupted + s.HostDownDropped
 	return float64(lost) / float64(offered)
 }
 
@@ -243,6 +251,15 @@ func (l *Link) TxTime(bytes int) time.Duration {
 // success the packet will be delivered to the downstream node after
 // queueing, serialization, and propagation delays.
 func (l *Link) Enqueue(p *Packet) bool {
+	// A downed endpoint kills traffic before any impairment draw: a dead
+	// From can't transmit and a dead To's access link rejects, and neither
+	// consumes loss-model RNG, so bringing a host down never perturbs the
+	// random streams of the surviving traffic.
+	if l.From.down || l.To.down {
+		l.stats.HostDownDropped++
+		l.drop(p, DropHostDown)
+		return false
+	}
 	if l.down {
 		l.stats.BlackoutDropped++
 		l.drop(p, DropBlackout)
@@ -354,6 +371,15 @@ func (l *Link) deliverEvent(arg any) { l.deliver(arg.(*Packet)) }
 // far end (counted, OnDrop-notified, recycled); clean packets are handed
 // to the downstream node.
 func (l *Link) deliver(p *Packet) {
+	// A host fault mid-flight destroys the packet at delivery time: queued
+	// and propagating packets of a crashed endpoint never arrive (its NIC
+	// queue is flushed, its inbound frames have no one to receive them).
+	if l.From.down || l.To.down {
+		l.stats.HostDownDropped++
+		l.drop(p, DropHostDown)
+		l.recycle(p)
+		return
+	}
 	if p.corrupt {
 		l.stats.Corrupted++
 		l.drop(p, DropCorrupt)

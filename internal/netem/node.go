@@ -11,11 +11,26 @@ type Node struct {
 
 	net      *Network
 	handlers map[int]func(*Packet)
+	down     bool
 	// Forwarded counts packets this node pushed to a next hop.
 	Forwarded uint64
 	// DeliveredLocal counts packets consumed by local handlers.
 	DeliveredLocal uint64
 }
+
+// SetDown detaches the node from the network (true) or reattaches it
+// (false), modeling a host crash or reboot. While down, every link touching
+// the node kills traffic: its outgoing links reject new transmissions, and
+// packets in flight toward (or away from) it die on delivery with cause
+// DropHostDown. The node's handler table and counters survive a reboot —
+// flows resume exactly where the wire left them, which is what makes
+// endpoint-churn experiments interesting. Drive this through
+// faults.Timeline (HostDown/HostUp) rather than directly in experiments so
+// the event is logged and counted.
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// IsDown reports whether the node is currently detached.
+func (n *Node) IsDown() bool { return n.down }
 
 // Handle registers fn as the local delivery handler for the given flow ID.
 // Registering twice for the same flow panics: it is always a wiring bug.

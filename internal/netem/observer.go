@@ -25,6 +25,11 @@ const (
 	// DropCorrupt is a checksum discard at the far end of the link
 	// (LinkStats.Corrupted).
 	DropCorrupt
+	// DropHostDown is a kill because an endpoint of the link is a downed
+	// host (Node.SetDown): rejected at enqueue when either end is already
+	// down, or destroyed on delivery when the host died while the packet
+	// was queued or in flight (LinkStats.HostDownDropped).
+	DropHostDown
 )
 
 // String returns the cause's stable label, used as a span attribute and in
@@ -43,6 +48,8 @@ func (c DropCause) String() string {
 		return "blackout"
 	case DropCorrupt:
 		return "corrupt"
+	case DropHostDown:
+		return "host_down"
 	}
 	return "unknown"
 }

@@ -183,6 +183,11 @@ func WriteChromeTrace(w io.Writer, events []Event, labels *Collector) error {
 			out = append(out, chromeEvent{
 				Name: e.Note, Ph: "i", S: "g", Ts: us(e.At), Pid: pidSim, Tid: 0,
 			})
+		case Abort:
+			out = append(out, chromeEvent{
+				Name: "abort: " + e.Note, Ph: "i", S: "t", Ts: us(e.At),
+				Pid: flowPid(e.Flow), Tid: 0,
+			})
 		}
 	}
 

@@ -67,6 +67,9 @@ const (
 	Fault
 	// Mark: a free-form annotation (invariant violations, CLI markers).
 	Mark
+	// Abort: the flow entered the terminal aborted state (or crossed the
+	// R1 notify threshold); Note is the abort reason or "r1-notify".
+	Abort
 )
 
 func (k Kind) String() string {
@@ -95,6 +98,8 @@ func (k Kind) String() string {
 		return "fault"
 	case Mark:
 		return "mark"
+	case Abort:
+		return "abort"
 	}
 	return "?"
 }
@@ -194,6 +199,17 @@ func (c *Collector) AttachFlow(f *tcp.Flow, protocol string) {
 	if ps, ok := f.Sender().(tcp.ProbeSetter); ok {
 		ps.SetProbe(&flowProbe{c: c, flow: id})
 	}
+	// Abort lifecycle events ride the flow hooks: one event when the R1
+	// notify threshold is crossed, one when the connection dies for good.
+	f.Hooks = f.Hooks.Chain(tcp.FlowHooks{
+		OnR1: func(count int, now sim.Time) {
+			c.push(Event{At: now, Kind: Abort, Flow: id,
+				Seq: int64(count), Note: "r1-notify"})
+		},
+		OnAbort: func(reason tcp.AbortReason, now sim.Time) {
+			c.push(Event{At: now, Kind: Abort, Flow: id, Note: reason.String()})
+		},
+	})
 }
 
 // push appends one event to the ring.

@@ -28,6 +28,12 @@ type FlowHooks struct {
 	OnAckSent func(ack Ack, now sim.Time)
 	// OnAckRecv fires when an ACK survives the reverse path.
 	OnAckRecv func(ack Ack, now sim.Time)
+	// OnR1 fires when the flow crosses the RFC 1122 R1 notify threshold:
+	// count consecutive retransmission timeouts without forward progress.
+	OnR1 func(count int, now sim.Time)
+	// OnAbort fires exactly once, when the flow enters the terminal
+	// FlowAborted state (after the sender has been stopped).
+	OnAbort func(reason AbortReason, now sim.Time)
 }
 
 // Chain composes two hook sets: each returned callback invokes h's hook
@@ -40,6 +46,8 @@ func (h FlowHooks) Chain(next FlowHooks) FlowHooks {
 		OnDataRecv: chainHook(h.OnDataRecv, next.OnDataRecv),
 		OnAckSent:  chainHook(h.OnAckSent, next.OnAckSent),
 		OnAckRecv:  chainHook(h.OnAckRecv, next.OnAckRecv),
+		OnR1:       chainHook(h.OnR1, next.OnR1),
+		OnAbort:    chainHook(h.OnAbort, next.OnAbort),
 	}
 }
 
@@ -84,6 +92,17 @@ type Flow struct {
 
 	// Hooks are optional observation callbacks.
 	Hooks FlowHooks
+
+	// AbortPolicy bounds how long the connection keeps retrying (RFC 1122
+	// R1/R2 thresholds, user timeout). The zero value — the default —
+	// retransmits forever, exactly as before the lifecycle layer existed.
+	// Set before Start.
+	AbortPolicy AbortConfig
+
+	state       FlowState
+	abortReason AbortReason
+	abortedAt   sim.Time
+	lc          lifecycle
 
 	// DelayedAcks enables RFC 1122/5681 receiver-side ACK delaying: an
 	// ACK is withheld until a second in-order segment arrives or the
@@ -152,6 +171,7 @@ func NewSplitFlow(srcNet, dstNet *netem.Network, id int, src, dst *netem.Node, f
 			f.emitAck(f.delackAck)
 		}
 	})
+	f.lc.flow = f
 	dst.Handle(id, f.onDataArrival)
 	src.Handle(id, f.onAckArrival)
 	return f
@@ -159,7 +179,7 @@ func NewSplitFlow(srcNet, dstNet *netem.Network, id int, src, dst *netem.Node, f
 
 // Env returns the sender environment for this flow.
 func (f *Flow) Env() SenderEnv {
-	return SenderEnv{Sched: f.srcNet.Scheduler(), Transmit: f.transmit}
+	return SenderEnv{Sched: f.srcNet.Scheduler(), Transmit: f.transmit, lc: &f.lc}
 }
 
 // Attach installs the sender built by mk. It must be called exactly once
@@ -171,10 +191,23 @@ func (f *Flow) Attach(mk func(SenderEnv) Sender) {
 	f.sender = mk(f.Env())
 }
 
-// Start schedules the sender to begin at virtual time at.
+// Start schedules the sender to begin at virtual time at. When an
+// AbortPolicy user timeout is configured, its timer is armed just before
+// the sender starts (a connection that never gets a single ACK still
+// aborts).
 func (f *Flow) Start(at sim.Time) {
 	if f.sender == nil {
 		panic(fmt.Sprintf("tcp: flow %d started without a sender", f.ID))
+	}
+	if f.AbortPolicy.UserTimeout > 0 && f.lc.userTimer == nil {
+		f.lc.userTimer = sim.NewTimer(f.srcNet.Scheduler(), func() {
+			f.Abort(AbortUserTimeout)
+		})
+		f.srcNet.Scheduler().At(at, func() {
+			if f.state == FlowActive {
+				f.lc.userTimer.ResetAfter(f.AbortPolicy.UserTimeout)
+			}
+		})
 	}
 	f.srcNet.Scheduler().At(at, f.sender.Start)
 }
@@ -201,6 +234,16 @@ func (f *Flow) AcksSent() uint64 { return f.acksSent }
 
 // transmit implements SenderEnv.Transmit.
 func (f *Flow) transmit(seg Seg) bool {
+	if f.state == FlowAborted {
+		// An aborted connection places nothing on the wire. The hook still
+		// fires — without the send counters — so the conformance checker
+		// can flag the attempt (a sender retransmitting after abort is a
+		// bug this seam exists to catch).
+		if f.Hooks.OnDataSent != nil {
+			f.Hooks.OnDataSent(seg, f.srcNet.Scheduler().Now())
+		}
+		return false
+	}
 	f.dataSent++
 	if seg.Retx {
 		f.dataRetx++
@@ -308,7 +351,11 @@ func (f *Flow) onAckArrival(p *netem.Packet) {
 	if f.Hooks.OnAckRecv != nil {
 		f.Hooks.OnAckRecv(ack, f.srcNet.Scheduler().Now())
 	}
-	f.sender.OnAck(ack)
+	// An aborted connection discards late ACKs (a real stack would answer
+	// with RST); feeding them to a stopped sender could re-arm its timers.
+	if f.state != FlowAborted {
+		f.sender.OnAck(ack)
+	}
 	// ack (and its Blocks alias into the box) is dead past this point; the
 	// sender and hooks read ACKs synchronously, copying what they keep.
 	if !f.noPool {

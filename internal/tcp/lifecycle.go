@@ -1,0 +1,249 @@
+package tcp
+
+import (
+	"time"
+
+	"tcppr/internal/sim"
+)
+
+// This file is the connection-lifecycle layer shared by every sender
+// variant: RFC 1122 §4.2.3.5 retransmission thresholds (R1 notifies, R2
+// aborts) plus an optional RFC 793-style user timeout, surfaced as a
+// terminal Aborted flow state. Senders stay lifecycle-agnostic — they only
+// call SenderEnv.ReportTimeout before acting on a retransmission timeout
+// and SenderEnv.ReportProgress when the cumulative ACK advances; the flow
+// owns the thresholds and the teardown.
+//
+// The zero AbortConfig is inert by design: no R1 notification, no R2
+// abort, no user timer, and not a single extra scheduled event — a sender
+// under the defaults retransmits forever exactly as before this layer
+// existed (the golden-trace corpus pins that byte-for-byte).
+
+// FlowState is the lifecycle state of a Flow.
+type FlowState uint8
+
+const (
+	// FlowActive is the normal operating state (also the zero value).
+	FlowActive FlowState = iota
+	// FlowAborted is terminal: the connection gave up. The sender is
+	// stopped, its timers are cancelled, and the flow refuses to place
+	// further segments on the wire.
+	FlowAborted
+)
+
+// String returns the state's stable label.
+func (s FlowState) String() string {
+	switch s {
+	case FlowActive:
+		return "active"
+	case FlowAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// AbortReason says why a flow aborted.
+type AbortReason uint8
+
+const (
+	// AbortNone is the zero value; the flow has not aborted.
+	AbortNone AbortReason = iota
+	// AbortR2 is an RFC 1122 R2 abort: too many consecutive
+	// retransmission timeouts without forward progress.
+	AbortR2
+	// AbortUserTimeout is an RFC 793-style user timeout: no forward
+	// progress for AbortConfig.UserTimeout of virtual time.
+	AbortUserTimeout
+	// AbortExternal is a teardown requested by the application or test
+	// harness through Flow.Abort directly.
+	AbortExternal
+)
+
+// String returns the reason's stable label, used in event logs and traces.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortNone:
+		return "none"
+	case AbortR2:
+		return "r2-retx"
+	case AbortUserTimeout:
+		return "user-timeout"
+	case AbortExternal:
+		return "external"
+	}
+	return "unknown"
+}
+
+// AbortConfig bounds how long a connection keeps trying, per RFC 1122
+// §4.2.3.5. The zero value disables everything (retransmit forever), which
+// keeps the abort machinery invisible to existing experiments.
+type AbortConfig struct {
+	// R1 is the notify threshold: after R1 consecutive retransmission
+	// timeouts without progress the flow fires the OnR1 hook (a real stack
+	// would tell the IP layer to re-probe routes). 0 disables. Informational
+	// only — nothing changes in the sender's behaviour.
+	R1 int
+	// R2 is the abort threshold: the R2-th consecutive retransmission
+	// timeout without progress aborts the connection instead of
+	// retransmitting (so R2-1 timeout retransmissions happen first).
+	// 0 disables (retransmit forever).
+	R2 int
+	// UserTimeout aborts the connection when no forward progress has been
+	// made for this much virtual time, measured from the flow's start and
+	// re-anchored at every cumulative-ACK advance. 0 disables. The timer
+	// stops when the sender reports itself Done, so finite transfers still
+	// drain the scheduler.
+	UserTimeout time.Duration
+}
+
+// Stopper is implemented by senders that can cancel all their pending
+// timers and go quiescent. Flow.Abort type-asserts it; every shipped engine
+// implements it, and a sender that doesn't simply keeps its timers (they
+// fire into a flow that refuses to transmit, so the run still terminates).
+type Stopper interface {
+	Stop()
+}
+
+// doneSender is the optional completion probe senders already expose.
+type doneSender interface {
+	Done() bool
+}
+
+// lifecycle tracks consecutive retransmission timeouts and drives the
+// R1/R2/user-timeout policy for one flow. It is embedded by value in Flow
+// and handed to senders by pointer inside SenderEnv.
+type lifecycle struct {
+	flow *Flow
+
+	// consecutive counts retransmission timeouts since the last forward
+	// progress; totalTimeouts counts every reported timeout for the run.
+	consecutive   int
+	totalTimeouts uint64
+	r1Notifies    uint64
+
+	// userTimer is non-nil only when AbortConfig.UserTimeout > 0; it lives
+	// on the sender-side scheduler.
+	userTimer *sim.Timer
+}
+
+// onTimeout applies the R1/R2 policy to one reported retransmission
+// timeout. It returns false when the flow is (now) aborted.
+func (l *lifecycle) onTimeout(now sim.Time) bool {
+	f := l.flow
+	if f.state == FlowAborted {
+		return false
+	}
+	l.consecutive++
+	l.totalTimeouts++
+	cfg := f.AbortPolicy
+	if cfg.R1 > 0 && l.consecutive == cfg.R1 {
+		l.r1Notifies++
+		if f.Hooks.OnR1 != nil {
+			f.Hooks.OnR1(l.consecutive, now)
+		}
+	}
+	if cfg.R2 > 0 && l.consecutive >= cfg.R2 {
+		f.Abort(AbortR2)
+		return false
+	}
+	return true
+}
+
+// onProgress resets the consecutive-timeout count and re-anchors the user
+// timeout. When the sender reports itself done the user timer stops
+// instead, so a completed finite transfer leaves no pending events behind.
+func (l *lifecycle) onProgress() {
+	l.consecutive = 0
+	if l.userTimer == nil {
+		return
+	}
+	f := l.flow
+	if f.state == FlowAborted {
+		return
+	}
+	if d, ok := f.sender.(doneSender); ok && d.Done() {
+		l.userTimer.Stop()
+		return
+	}
+	l.userTimer.ResetAfter(f.AbortPolicy.UserTimeout)
+}
+
+// ReportTimeout tells the flow's lifecycle that a retransmission timeout
+// fired (or, for TCP-PR, one of its timeout-equivalents: an extreme-loss
+// reset or an mxrtt doubling at cwnd ≤ 1). Senders must call it before
+// acting on the timeout and bail out without retransmitting when it returns
+// false: false means the connection is aborted and the sender has already
+// been stopped via Stopper. A bare SenderEnv (unit tests) has no lifecycle
+// and always returns true.
+func (e SenderEnv) ReportTimeout() bool {
+	if e.lc == nil {
+		return true
+	}
+	return e.lc.onTimeout(e.Sched.Now())
+}
+
+// ReportProgress tells the flow's lifecycle that the cumulative ACK
+// advanced. Senders call it on every new ACK; it resets the R1/R2
+// consecutive-timeout count and re-anchors the user timeout. No-op on a
+// bare SenderEnv.
+func (e SenderEnv) ReportProgress() {
+	if e.lc != nil {
+		e.lc.onProgress()
+	}
+}
+
+// Abort terminates the connection: the flow enters the terminal
+// FlowAborted state, the user-timeout and (same-scheduler) delayed-ACK
+// timers are cancelled, the sender is stopped via Stopper, and the OnAbort
+// hook fires. Idempotent; safe to call from tests and workloads directly
+// (reason AbortExternal) as well as from the lifecycle policy.
+func (f *Flow) Abort(reason AbortReason) {
+	if f.state == FlowAborted {
+		return
+	}
+	now := f.srcNet.Scheduler().Now()
+	f.state = FlowAborted
+	f.abortReason = reason
+	f.abortedAt = now
+	if f.lc.userTimer != nil {
+		f.lc.userTimer.Stop()
+	}
+	// The delayed-ACK timer lives on the receiver's scheduler; on a split
+	// flow the two sides run on different shards, so the sender side must
+	// not touch it (a pending delayed ACK simply fires once more and is
+	// ignored — it drains, it doesn't leak).
+	if f.srcNet == f.dstNet {
+		f.delackPending = false
+		f.delackTimer.Stop()
+	}
+	if s, ok := f.sender.(Stopper); ok {
+		s.Stop()
+	}
+	if f.Hooks.OnAbort != nil {
+		f.Hooks.OnAbort(reason, now)
+	}
+}
+
+// State returns the flow's lifecycle state.
+func (f *Flow) State() FlowState { return f.state }
+
+// Aborted reports whether the flow has reached the terminal aborted state.
+func (f *Flow) Aborted() bool { return f.state == FlowAborted }
+
+// AbortCause returns why the flow aborted (AbortNone while active).
+func (f *Flow) AbortCause() AbortReason { return f.abortReason }
+
+// AbortedAt returns the virtual time of the abort (0 while active).
+func (f *Flow) AbortedAt() sim.Time { return f.abortedAt }
+
+// TimeoutRetx returns the total number of retransmission timeouts the
+// sender reported over the flow's lifetime.
+func (f *Flow) TimeoutRetx() uint64 { return f.lc.totalTimeouts }
+
+// ConsecutiveTimeouts returns the current run of retransmission timeouts
+// since the last forward progress. At the instant of an R2 abort this is
+// exactly AbortPolicy.R2 — the invariant checker relies on that.
+func (f *Flow) ConsecutiveTimeouts() int { return f.lc.consecutive }
+
+// R1Notifies returns how many times the R1 notify threshold fired.
+func (f *Flow) R1Notifies() uint64 { return f.lc.r1Notifies }

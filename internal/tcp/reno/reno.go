@@ -218,6 +218,7 @@ func (s *Sender) OnAck(ack tcp.Ack) {
 }
 
 func (s *Sender) onNewAck(ack tcp.Ack) {
+	s.env.ReportProgress()
 	if rtt, ok := s.times.Sample(ack.EchoSeq, s.env.Now()); ok {
 		s.rto.OnSample(rtt)
 		if s.probe != nil {
@@ -374,6 +375,30 @@ func (s *Sender) armTimer() {
 	s.rtxTimer.ResetAfter(s.rto.RTO())
 }
 
+// Stop cancels every pending timer the sender owns — the retransmission
+// timer and, when the dup-ACK trigger keeps one (TD-FR), its reordering
+// timer — implementing tcp.Stopper so a connection abort leaves no events
+// behind. The flow guards subsequent OnAck deliveries, so a stopped sender
+// never re-arms.
+func (s *Sender) Stop() {
+	s.rtxTimer.Stop()
+	if st, ok := s.cfg.Trigger.(interface{ Stop() }); ok {
+		st.Stop()
+	}
+}
+
+// Quiescent reports whether the sender holds no pending timers; the
+// invariant checker asserts it right after an abort.
+func (s *Sender) Quiescent() bool {
+	if s.rtxTimer.Pending() {
+		return false
+	}
+	if q, ok := s.cfg.Trigger.(interface{ Quiescent() bool }); ok {
+		return q.Quiescent()
+	}
+	return true
+}
+
 // restartTimer re-arms the retransmission timer if data is outstanding and
 // cancels it otherwise (RFC 6298 §5.2–5.3), including when a finite
 // transfer completes.
@@ -387,6 +412,9 @@ func (s *Sender) restartTimer() {
 func (s *Sender) onTimeout() {
 	if s.nextSeq == s.una {
 		return // nothing outstanding
+	}
+	if !s.env.ReportTimeout() {
+		return // connection aborted; Stop has already run
 	}
 	s.Timeouts++
 	if s.probe != nil {

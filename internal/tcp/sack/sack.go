@@ -198,6 +198,7 @@ func (s *Sender) OnAck(ack tcp.Ack) {
 }
 
 func (s *Sender) onNewAck(ack tcp.Ack) {
+	s.env.ReportProgress()
 	if rtt, ok := s.times.Sample(ack.EchoSeq, s.env.Now()); ok {
 		s.rto.OnSample(rtt)
 	}
@@ -446,6 +447,15 @@ func (s *Sender) armTimer() {
 	s.rtxTimer.ResetAfter(s.rto.RTO())
 }
 
+// Stop cancels the retransmission timer, implementing tcp.Stopper so a
+// connection abort leaves no events behind. The flow guards subsequent
+// OnAck deliveries, so a stopped sender never re-arms.
+func (s *Sender) Stop() { s.rtxTimer.Stop() }
+
+// Quiescent reports whether the sender holds no pending timers; the
+// invariant checker asserts it right after an abort.
+func (s *Sender) Quiescent() bool { return !s.rtxTimer.Pending() }
+
 func (s *Sender) restartTimer() {
 	s.rtxTimer.Stop()
 	if s.nextSeq > s.una && !s.Done() {
@@ -456,6 +466,9 @@ func (s *Sender) restartTimer() {
 func (s *Sender) onTimeout() {
 	if s.nextSeq == s.una {
 		return
+	}
+	if !s.env.ReportTimeout() {
+		return // connection aborted; Stop has already run
 	}
 	s.Timeouts++
 	s.ssthresh = math.Max(s.cwnd/2, 2)

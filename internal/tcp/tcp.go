@@ -148,6 +148,11 @@ type SenderEnv struct {
 	// "in flight" from the sender's perspective — loss detection works
 	// exactly as for an in-network drop).
 	Transmit func(seg Seg) bool
+
+	// lc is the owning flow's connection lifecycle (nil on a bare env, as
+	// sender unit tests build). Senders reach it only through
+	// ReportTimeout/ReportProgress.
+	lc *lifecycle
 }
 
 // Now returns the current virtual time.

@@ -69,6 +69,17 @@ func (t *Trigger) OnAdvance() {
 	t.timer.Cancel()
 }
 
+// Stop cancels a pending reordering timer; reno.Sender.Stop reaches it
+// through an interface assertion when the connection aborts, so a TD-FR
+// abort leaks no trigger event.
+func (t *Trigger) Stop() {
+	t.timer.Cancel()
+	t.timer = sim.Handle{}
+}
+
+// Quiescent reports whether no reordering timer is pending.
+func (t *Trigger) Quiescent() bool { return !t.timer.Pending() }
+
 // New builds the complete TD-FR sender: NewReno with the TD-FR trigger
 // and RFC 3042 limited transmit (per [3], limited transmit is what keeps
 // TD-FR's delayed retransmissions from going bursty — and the paper notes

@@ -32,6 +32,17 @@ type OnOffConfig struct {
 	// uses to chain each short-lived connection onto its shard's
 	// conformance checker.
 	OnFlow func(f *tcp.Flow, protocol string)
+	// Retry, when set, makes the source abort-aware: every transfer's
+	// flow carries Retry.Abort, and an aborted connection is re-tried on
+	// a fresh flow after a capped exponential backoff. A transfer that
+	// exhausts Retry.MaxAttempts is abandoned and the source stops — so
+	// against a permanently dead peer the source terminates in bounded
+	// virtual time instead of stalling forever.
+	Retry *RetryConfig
+	// MaxTransfers, when positive, stops the source after that many
+	// completed transfers (0 = keep going for the whole run). Bounded
+	// sources let drain tests assert full event-queue quiescence.
+	MaxTransfers int
 }
 
 func (c *OnOffConfig) fill() {
@@ -49,6 +60,9 @@ func (c *OnOffConfig) fill() {
 	}
 	if c.Protocol == "" {
 		c.Protocol = TCPSACK
+	}
+	if c.Retry != nil {
+		c.Retry.fill()
 	}
 }
 
@@ -68,10 +82,18 @@ type OnOffSource struct {
 	// delivered payload.
 	Transfers      int
 	BytesDelivered int64
+	// Retries counts connections re-established after an abort; GaveUp
+	// counts transfers abandoned after the retry budget ran out. Both
+	// stay zero unless OnOffConfig.Retry is set.
+	Retries int
+	GaveUp  int
 
-	cur       *tcp.Flow
-	curTarget int64
-	flowSeq   int
+	cur           *tcp.Flow
+	curTarget     int64
+	curTargetPkts int64 // page size in packets, constant across retries
+	flowSeq       int
+	attempt       int  // connection attempts for the current transfer
+	stopped       bool // gave up or hit MaxTransfers; schedules nothing more
 }
 
 // NewOnOffSource wires a source between two nodes. flowBase is the base
@@ -115,32 +137,90 @@ func (s *OnOffSource) pareto() int64 {
 	return int64(size)
 }
 
-// beginTransfer opens a fresh connection for the next page.
+// Done reports whether the source has stopped for good: it either hit
+// MaxTransfers or abandoned a transfer after exhausting its retry budget.
+func (s *OnOffSource) Done() bool { return s.stopped }
+
+// beginTransfer draws the next page size and opens its first connection.
 func (s *OnOffSource) beginTransfer() {
+	if s.stopped {
+		return
+	}
+	s.attempt = 0
+	s.curTargetPkts = s.pareto()
+	s.startAttempt()
+}
+
+// startAttempt opens a fresh connection (attempt 1 or a retry — same page,
+// new flow ID: real stacks cannot resurrect an aborted connection either).
+func (s *OnOffSource) startAttempt() {
+	s.attempt++
 	s.flowSeq++
 	id := s.flowBase + s.flowSeq
-	target := s.pareto()
+	target := s.curTargetPkts
 	f := tcp.NewFlow(s.net, id, s.src, s.dst, s.fwd, s.rev)
 	s.cur = f
 	s.curTarget = target * int64(f.PktSize)
 
-	// The sender stops on its own at the MaxData limit; completion is
-	// observed on the receiver side (all `target` distinct segments
-	// arrived), polled at an RTT-ish interval.
-	var poll func()
-	poll = func() {
-		if f.UniqueBytes() >= s.curTarget {
-			s.finishTransfer()
-			return
+	afterStart := func() {}
+	if r := s.cfg.Retry; r != nil {
+		// Abort-aware mode: the flow carries the abort policy, and
+		// completion rides the receiver's ACK emission instead of a poll
+		// loop — a poll would keep an event pending forever on a transfer
+		// that aborts, and the drain tests demand full quiescence.
+		f.AbortPolicy = r.Abort
+		settled := false // completion and abort are mutually exclusive
+		f.Hooks = f.Hooks.Chain(tcp.FlowHooks{
+			OnAckSent: func(_ tcp.Ack, _ sim.Time) {
+				if settled || f.UniqueBytes() < s.curTarget {
+					return
+				}
+				settled = true
+				s.finishTransfer()
+			},
+			OnAbort: func(_ tcp.AbortReason, _ sim.Time) {
+				if settled {
+					return
+				}
+				settled = true
+				s.retryOrGiveUp()
+			},
+		})
+	} else {
+		// Legacy mode: the sender stops on its own at the MaxData limit;
+		// completion is observed on the receiver side (all `target`
+		// distinct segments arrived), polled at an RTT-ish interval.
+		var poll func()
+		poll = func() {
+			if f.UniqueBytes() >= s.curTarget {
+				s.finishTransfer()
+				return
+			}
+			s.net.Scheduler().After(20*time.Millisecond, poll)
 		}
-		s.net.Scheduler().After(20*time.Millisecond, poll)
+		afterStart = func() { s.net.Scheduler().After(20*time.Millisecond, poll) }
 	}
 	f.Attach(Factory(s.cfg.Protocol, PRParams{MaxDataPkts: target}))
 	if s.cfg.OnFlow != nil {
 		s.cfg.OnFlow(f, s.cfg.Protocol)
 	}
 	f.Start(s.net.Scheduler().Now())
-	s.net.Scheduler().After(20*time.Millisecond, poll)
+	afterStart()
+}
+
+// retryOrGiveUp runs after an abort: re-establish after a capped
+// exponential backoff, or abandon the transfer once the connection budget
+// is spent. Giving up stops the source — against a permanently dead peer
+// that is the bounded-termination outcome the churn matrix asserts.
+func (s *OnOffSource) retryOrGiveUp() {
+	r := s.cfg.Retry
+	if s.attempt >= r.MaxAttempts {
+		s.GaveUp++
+		s.stopped = true
+		return
+	}
+	s.Retries++
+	s.net.Scheduler().After(r.Backoff(s.attempt, s.rng), s.startAttempt)
 }
 
 // finishTransfer books the page and schedules the next one after an
@@ -148,6 +228,10 @@ func (s *OnOffSource) beginTransfer() {
 func (s *OnOffSource) finishTransfer() {
 	s.Transfers++
 	s.BytesDelivered += s.cur.UniqueBytes()
+	if s.cfg.MaxTransfers > 0 && s.Transfers >= s.cfg.MaxTransfers {
+		s.stopped = true
+		return
+	}
 	think := time.Duration(s.rng.ExpFloat64() * float64(s.cfg.MeanThink))
 	s.net.Scheduler().After(think, s.beginTransfer)
 }

@@ -54,3 +54,126 @@ func newFiniteFlow(t *testing.T, d *topo.Dumbbell, id int, proto string, pkts in
 		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
 	return NewFlow(f, proto, PRParams{MaxDataPkts: pkts}, 0)
 }
+
+// TestOnOffHostDeathDrains is the endpoint-churn drain check: the peer
+// host dies mid-transfer and never returns. The abort-aware source must
+// walk the full ladder — R2 retransmission aborts on every attempt,
+// capped-backoff retries, then give-up — and leave the event queue
+// completely empty: no orphaned retransmission timers, no poll loops, no
+// user timers, for every sender engine.
+func TestOnOffHostDeathDrains(t *testing.T) {
+	for _, proto := range []string{TCPPR, TCPSACK, NewReno} {
+		t.Run(proto, func(t *testing.T) {
+			sched := sim.NewScheduler()
+			d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+			src := NewOnOffSource(d.Net, 50_000, d.Src(0), d.Dst(0),
+				routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)},
+				OnOffConfig{
+					MeanSizePkts: 200, // big page: still in flight at the cut
+					Protocol:     proto,
+					Retry: &RetryConfig{
+						Abort:       tcp.AbortConfig{R2: 3},
+						MaxAttempts: 3,
+						BaseBackoff: 100 * time.Millisecond,
+						MaxBackoff:  time.Second,
+					},
+				},
+				sim.NewRand(31))
+			src.Start(0)
+			sched.At(sim.Time(100*time.Millisecond), func() { d.Dst(0).SetDown(true) })
+
+			sched.RunUntil(5 * time.Minute)
+			if src.GaveUp != 1 {
+				t.Errorf("GaveUp = %d, want 1", src.GaveUp)
+			}
+			if !src.Done() {
+				t.Error("source not Done after giving up")
+			}
+			if want := src.cfg.Retry.MaxAttempts - 1; src.Retries != want {
+				t.Errorf("Retries = %d, want %d", src.Retries, want)
+			}
+			if n := sched.Len(); n != 0 {
+				t.Errorf("%d events still pending after give-up: leaked timers", n)
+			}
+		})
+	}
+}
+
+// TestOnOffDefaultPolicyInert pins the backward-compatibility contract of
+// the abort machinery: with no Retry policy (the pre-churn configuration)
+// a zero AbortConfig is installed, so even a permanently dead peer never
+// aborts the flow — the sender backs off and retries forever, exactly as
+// every seed-era experiment assumes. The golden corpus byte-identity test
+// checks the timing side of this; here we check the state side.
+func TestOnOffDefaultPolicyInert(t *testing.T) {
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	var flows []*tcp.Flow
+	src := NewOnOffSource(d.Net, 50_000, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)},
+		OnOffConfig{
+			MeanSizePkts: 200,
+			Protocol:     TCPSACK,
+			OnFlow:       func(f *tcp.Flow, _ string) { flows = append(flows, f) },
+		},
+		sim.NewRand(31))
+	src.Start(0)
+	sched.At(sim.Time(100*time.Millisecond), func() { d.Dst(0).SetDown(true) })
+
+	sched.RunUntil(2 * time.Minute)
+	if len(flows) == 0 {
+		t.Fatal("no flows opened")
+	}
+	for _, f := range flows {
+		if f.Aborted() || f.State() != tcp.FlowActive {
+			t.Errorf("flow %d reached state %v under the default policy, want active forever",
+				f.ID, f.State())
+		}
+	}
+	if src.GaveUp != 0 || src.Retries != 0 {
+		t.Errorf("default-policy source counted retries=%d gaveUp=%d, want zero",
+			src.Retries, src.GaveUp)
+	}
+	// The sender must still be trying: its backed-off retransmission timer
+	// (and the legacy completion poll) stay pending, not drained.
+	if sched.Len() == 0 {
+		t.Error("event queue drained: the default-policy sender stopped retrying")
+	}
+}
+
+// TestOnOffHostBlackoutRecovers runs the same abort-aware source through a
+// transient 1s host outage: the source must ride it out (aborting and
+// retrying if the outage outlasts R2), finish its transfer quota, and
+// drain to a fully empty event queue.
+func TestOnOffHostBlackoutRecovers(t *testing.T) {
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	src := NewOnOffSource(d.Net, 50_000, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)},
+		OnOffConfig{
+			MeanSizePkts: 50,
+			Protocol:     TCPSACK,
+			MaxTransfers: 2,
+			Retry: &RetryConfig{
+				Abort:       tcp.AbortConfig{R2: 3},
+				MaxAttempts: 5,
+				BaseBackoff: 100 * time.Millisecond,
+				MaxBackoff:  time.Second,
+			},
+		},
+		sim.NewRand(77))
+	src.Start(0)
+	sched.At(sim.Time(100*time.Millisecond), func() { d.Dst(0).SetDown(true) })
+	sched.At(sim.Time(1100*time.Millisecond), func() { d.Dst(0).SetDown(false) })
+
+	sched.RunUntil(5 * time.Minute)
+	if src.Transfers != 2 {
+		t.Errorf("Transfers = %d, want 2 (source did not recover)", src.Transfers)
+	}
+	if src.GaveUp != 0 {
+		t.Errorf("GaveUp = %d through a transient outage, want 0", src.GaveUp)
+	}
+	if n := sched.Len(); n != 0 {
+		t.Errorf("%d events still pending after quota reached: leaked timers", n)
+	}
+}
