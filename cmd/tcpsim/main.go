@@ -2,6 +2,7 @@
 // goodput. It is the quickest way to poke at the simulator:
 //
 //	tcpsim -topology dumbbell -protocols TCP-PR,TCP-SACK -flows 8 -duration 60s
+//	tcpsim -topology dumbbell -protocols TCP-PR -reorder swap-high -duration 30s
 //	tcpsim -topology multipath -protocols TCP-PR -eps 0 -delay 60ms
 //	tcpsim -topology city -shards 4 -districts 8 -hosts 16 -duration 5s
 //
@@ -11,8 +12,19 @@
 // the internal/psim sharded parallel engine; -shards picks the shard
 // count, -districts/-hosts/-sources the size).
 //
+// -reorder installs one of internal/netem's canned reorder models on the
+// bottleneck's data direction ('-reorder list' enumerates them); -jitter
+// adds uniform random extra delay there through the Impairment seam. Both
+// need a bottleneck, so they support dumbbell|parkinglot only.
+//
 // -check attaches the internal/invariant conformance oracle to the run;
 // any violation is printed and the process exits nonzero.
+//
+// Contradictory or out-of-range flag combinations (negative durations,
+// zero flows, -abort-r1 above -abort-r2, an impairment on a topology
+// without a bottleneck, an output flag set to an empty path, …) are
+// rejected up front with a usage error on stderr and exit status 2 —
+// never a mid-run panic.
 package main
 
 import (
@@ -56,6 +68,8 @@ func main() {
 	faultName := flag.String("faults", "", "canned fault scenario to inject at the bottleneck ('list' to enumerate)")
 	faultAt := flag.Duration("fault-at", 5*time.Second, "when the fault scenario's disruption begins")
 	hostFaultName := flag.String("host-faults", "", "canned host scenario to inject at the first destination host ('list' to enumerate)")
+	reorderName := flag.String("reorder", "", "canned reorder model to install on the bottleneck ('list' to enumerate)")
+	jitter := flag.Duration("jitter", 0, "uniform random extra delay on the bottleneck (dumbbell|parkinglot)")
 	abortR1 := flag.Int("abort-r1", 0, "RFC 1122 R1: consecutive timeouts before notifying (0 disables)")
 	abortR2 := flag.Int("abort-r2", 0, "RFC 1122 R2: consecutive timeouts before aborting the connection (0 disables)")
 	abortUser := flag.Duration("abort-user-timeout", 0, "abort after this long without forward progress (0 disables)")
@@ -78,15 +92,94 @@ func main() {
 		}
 		return
 	}
+	if *reorderName == "list" {
+		for _, sc := range netem.ReorderScenarios() {
+			fmt.Printf("%-12s %s\n", sc.Name, sc.Describe)
+		}
+		return
+	}
 
+	// Validate the whole flag set up front and report every problem at
+	// once: a bad invocation must die with a usage error here, not as a
+	// panic halfway into the run.
+	var bad []string
+	reject := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	switch *topology {
+	case "dumbbell", "parkinglot", "multipath", "city":
+	default:
+		reject("unknown topology %q (dumbbell|parkinglot|multipath|city)", *topology)
+	}
+	hasBottleneck := *topology == "dumbbell" || *topology == "parkinglot"
 	protos := strings.Split(*protocols, ",")
 	for i := range protos {
 		protos[i] = strings.TrimSpace(protos[i])
 		if !workload.Known(protos[i]) {
-			fmt.Fprintf(os.Stderr, "tcpsim: unknown protocol %q (known: %s)\n",
-				protos[i], strings.Join(workload.AllProtocols(), ", "))
-			os.Exit(1)
+			reject("unknown protocol %q (known: %s)", protos[i], strings.Join(workload.AllProtocols(), ", "))
 		}
+	}
+	if *flows < 1 {
+		reject("-flows must be at least 1, got %d", *flows)
+	}
+	if *duration <= 0 {
+		reject("-duration must be positive, got %v", *duration)
+	}
+	if *warm < 0 {
+		reject("-warm cannot be negative, got %v", *warm)
+	}
+	if *eps < 0 || *eps > 1 {
+		reject("-eps must be a probability in [0,1], got %g", *eps)
+	}
+	if *delay <= 0 {
+		reject("-delay must be positive, got %v", *delay)
+	}
+	if *alpha <= 0 || *alpha >= 1 {
+		reject("-alpha must lie in (0,1), got %g", *alpha)
+	}
+	if *beta < 1 {
+		reject("-beta must be at least 1, got %g", *beta)
+	}
+	if *shards < 1 || *districts < 1 || *hosts < 1 || *sources < 1 {
+		reject("-shards/-districts/-hosts/-sources must all be at least 1")
+	}
+	if *faultAt < 0 {
+		reject("-fault-at cannot be negative, got %v", *faultAt)
+	}
+	if *abortR1 < 0 || *abortR2 < 0 || *abortUser < 0 {
+		reject("abort thresholds cannot be negative")
+	}
+	if *abortR1 > 0 && *abortR2 > 0 && *abortR1 > *abortR2 {
+		reject("-abort-r1 (%d) must not exceed -abort-r2 (%d): R1 warns before R2 aborts", *abortR1, *abortR2)
+	}
+	if *jitter < 0 {
+		reject("-jitter cannot be negative, got %v", *jitter)
+	}
+	if *reorderName != "" {
+		if _, err := netem.ReorderScenarioByName(*reorderName); err != nil {
+			reject("%v", err)
+		}
+	}
+	if (*reorderName != "" || *jitter > 0) && !hasBottleneck {
+		reject("-reorder/-jitter need a bottleneck link; they support dumbbell|parkinglot only")
+	}
+	if (*faultName != "" || *hostFaultName != "") && !hasBottleneck {
+		reject("-faults/-host-faults support dumbbell|parkinglot only")
+	}
+	// An output flag explicitly set to "" silently discards its artifact;
+	// catch the contradiction instead of running for nothing.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "metrics", "trace", "trace-tsv", "flight-recorder":
+			if f.Value.String() == "" {
+				reject("-%s was set to an empty path; pass a real destination or drop the flag", f.Name)
+			}
+		}
+	})
+	if len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, "tcpsim:", msg)
+		}
+		fmt.Fprintln(os.Stderr, "usage: see tcpsim -h")
+		os.Exit(2)
 	}
 	pr := workload.PRParams{Alpha: *alpha, Beta: *beta}
 
@@ -98,26 +191,16 @@ func main() {
 	paths := tracePaths{json: *traceJSON, tsv: *traceTSV, flight: *flightPath}
 	fi := faultInject{
 		link: *faultName, host: *hostFaultName, at: *faultAt,
+		reorder: *reorderName, jitter: *jitter,
 		abort: tcp.AbortConfig{R1: *abortR1, R2: *abortR2, UserTimeout: *abortUser},
 	}
 	switch *topology {
 	case "dumbbell", "parkinglot":
 		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, fi, *seed, *check, paths)
 	case "multipath":
-		if fi.link != "" || fi.host != "" {
-			fmt.Fprintln(os.Stderr, "tcpsim: -faults/-host-faults support dumbbell|parkinglot only")
-			os.Exit(1)
-		}
 		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir, *check, paths)
 	case "city":
-		if fi.link != "" || fi.host != "" {
-			fmt.Fprintln(os.Stderr, "tcpsim: -faults/-host-faults support dumbbell|parkinglot only")
-			os.Exit(1)
-		}
 		runCity(*shards, *districts, *hosts, *sources, *duration, *seed, *check)
-	default:
-		fmt.Fprintf(os.Stderr, "tcpsim: unknown topology %q\n", *topology)
-		os.Exit(1)
 	}
 
 	if err := stopProf(); err != nil {
@@ -136,12 +219,16 @@ func (p tracePaths) suffixed(s string) tracePaths {
 	return tracePaths{json: suffixPath(p.json, s), tsv: suffixPath(p.tsv, s), flight: suffixPath(p.flight, s)}
 }
 
-// faultInject bundles the CLI's fault-injection knobs: an optional link
+// faultInject bundles the CLI's impairment knobs: an optional link fault
 // scenario at the bottleneck, an optional host scenario at the first
-// destination, and the abort policy installed on every measurement flow.
+// destination, an optional reorder model and jitter on the bottleneck's
+// data direction, and the abort policy installed on every measurement
+// flow.
 type faultInject struct {
 	link, host string
 	at         time.Duration
+	reorder    string
+	jitter     time.Duration
 	abort      tcp.AbortConfig
 }
 
@@ -185,12 +272,33 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 		}
 	}
 
+	// Persistent impairments on the bottleneck's data direction: a canned
+	// reorder model (its RNG on a split seed stream, so adding -jitter
+	// never perturbs the permutation) and/or jitter via the Impairment
+	// seam. Validation already guaranteed the names resolve.
+	if fi.reorder != "" {
+		sc, err := netem.ReorderScenarioByName(fi.reorder)
+		if err != nil {
+			fatalErr(err)
+		}
+		if m := sc.New(sim.NewRand(sim.SplitSeed(seed, 101))); m != nil {
+			bottlenecks[0].SetReorderModel(m)
+		}
+		fmt.Printf("reorder: model %q on %s (%s)\n\n", sc.Name, bottlenecks[0], sc.Describe)
+	}
+	if fi.jitter > 0 {
+		bottlenecks[0].SetImpairment(netem.NewJitter(fi.jitter, sim.NewRand(sim.SplitSeed(seed, 102))))
+	}
+
 	name := "tcpsim_" + topology
 	if fi.link != "" {
 		name += "_" + fi.link
 	}
 	if fi.host != "" {
 		name += "_" + fi.host
+	}
+	if fi.reorder != "" {
+		name += "_" + fi.reorder
 	}
 	ob := newObserver(metricsDir, name, sched)
 	ob.observe(flowsOut, bottlenecks)

@@ -452,4 +452,34 @@ var specs = []Spec{
 			return rep.finish(cfg, inv, "churnmatrix", true)
 		},
 	},
+	{
+		Name:     "reordermatrix",
+		Describe: "Reordering survival matrix: every protocol against every canned reorder model",
+		Run: func(cfg RunConfig) (Report, error) {
+			inv := cfg.invariants()
+			c := ReorderMatrixConfig{Seed: cfg.Seed, Metrics: cfg.Metrics, Invariants: inv, Trace: cfg.Trace}
+			// Absolute simulated time, like the other matrices. Quick and
+			// Smoke trim the run; Smoke also trims the protocol axis to
+			// the headline comparison (TCP-PR vs the dupack-threshold
+			// baselines the swap models punish).
+			if cfg.Smoke || cfg.Durations == Quick {
+				c.Total = 12 * time.Second
+			}
+			if cfg.Smoke {
+				c.Protocols = []string{workload.TCPPR, workload.NewReno, workload.TDFR}
+			}
+			res, err := RunReorderMatrix(c)
+			if err != nil {
+				return nil, err
+			}
+			rep := report{
+				tables: []*Table{res.Table(), res.DisplacementTable()},
+				csvs: []CSVFile{
+					{"reordermatrix.csv", res.Table()},
+					{"reordermatrix_displacement.csv", res.DisplacementTable()},
+				},
+			}
+			return rep.finish(cfg, inv, "reordermatrix", true)
+		},
+	},
 }

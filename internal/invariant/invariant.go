@@ -205,6 +205,24 @@ func (c *Checker) Finish() {
 	}
 }
 
+// checkReorderLedger audits a reorder model's custody accounting:
+// reordering may delay packets but must conserve them, so releases can
+// never outrun holds and the in-custody count must close the ledger
+// exactly. (Packets still held at the horizon are legitimate — a batch
+// deadline past the cutoff — which is why quiescence does not demand
+// held == released.)
+func (w *linkWatch) checkReorderLedger() {
+	st := w.l.Stats()
+	if st.ReorderReleased > st.ReorderHeld {
+		w.c.violatef(w.l.String(), "reorder-ledger",
+			"reorder model released %d packets but only held %d", st.ReorderReleased, st.ReorderHeld)
+	}
+	if held := w.l.ReorderHeldNow(); uint64(held) != st.ReorderHeld-st.ReorderReleased {
+		w.c.violatef(w.l.String(), "reorder-ledger",
+			"reorder custody count %d != held %d - released %d", held, st.ReorderHeld, st.ReorderReleased)
+	}
+}
+
 // dupSlack is the network-wide count of link-duplicated packet copies —
 // the only legitimate way for receive+drop counts to exceed send counts.
 func (c *Checker) dupSlack() uint64 {
@@ -255,6 +273,9 @@ func (w *linkWatch) check() {
 		w.c.violatef(w.l.String(), "link-balance",
 			"delivered %d + corrupted %d exceeds enqueued %d + duplicated %d",
 			st.Delivered, st.Corrupted, st.Enqueued, st.Duplicated)
+	}
+	if st.ReorderHeld != 0 || st.ReorderReleased != 0 {
+		w.checkReorderLedger()
 	}
 }
 

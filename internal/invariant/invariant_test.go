@@ -237,3 +237,54 @@ func TestAbortRulesCatchMisbehavior(t *testing.T) {
 		t.Errorf("transmit after abort not flagged; got %v", c.Violations())
 	}
 }
+
+// TestCleanUnderReorderModels: every canned reordering source — holding,
+// batching, striping — must pass the full rule set, including the new
+// custody-ledger audit: reordering delays packets but never creates or
+// destroys them.
+func TestCleanUnderReorderModels(t *testing.T) {
+	for _, name := range netem.ReorderScenarioNames() {
+		if name == "none" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			sc, err := netem.ReorderScenarioByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched := sim.NewScheduler()
+			d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+			d.Bottleneck.SetReorderModel(sc.New(sim.NewRand(42)))
+			c := New(sched)
+			c.AttachNetwork(d.Net)
+			f := tcp.NewFlow(d.Net, 1, d.Src(0), d.Dst(0),
+				routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
+			workload.NewFlow(f, workload.TCPPR, workload.PRParams{Alpha: 0.995, Beta: 3}, 0)
+			c.AttachFlow(f, workload.TCPPR)
+			sched.RunUntil(sim.Time(15 * time.Second))
+			c.Finish()
+			if c.Total() != 0 {
+				t.Fatalf("reorder model %s tripped invariants: %v", name, c.Err())
+			}
+			st := d.Bottleneck.Stats()
+			if name != "stripe" && st.ReorderHeld == 0 {
+				t.Fatalf("model %s never took custody; test is vacuous", name)
+			}
+		})
+	}
+}
+
+// TestReorderLedgerCatchesOverRelease: a model that releases a packet it
+// does not hold must die loudly at the link layer (defense in depth below
+// the ledger rule).
+func TestReorderLedgerCatchesOverRelease(t *testing.T) {
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	d.Bottleneck.Release(&netem.Packet{}, 0)
+	_ = sched
+}

@@ -7,6 +7,7 @@ import (
 	"tcppr/internal/core"
 	"tcppr/internal/netem"
 	"tcppr/internal/sim"
+	"tcppr/internal/stats"
 	"tcppr/internal/tcp"
 )
 
@@ -146,9 +147,36 @@ func InstrumentLink(sp *Sampler, reg *Registry, l *netem.Link, prefix string) {
 		reg.GaugeFunc(prefix+".delivered", func() float64 { return float64(l.Stats().Delivered) })
 		reg.GaugeFunc(prefix+".bytes", func() float64 { return float64(l.Stats().Bytes) })
 		reg.GaugeFunc(prefix+".max_queue", func() float64 { return float64(l.Stats().MaxQueue) })
+		if l.ReorderModel() != nil {
+			reg.GaugeFunc(prefix+".reorder_held", func() float64 { return float64(l.Stats().ReorderHeld) })
+			reg.GaugeFunc(prefix+".reorder_released", func() float64 { return float64(l.Stats().ReorderReleased) })
+			reg.GaugeFunc(prefix+".reorder_delayed", func() float64 { return float64(l.Stats().ReorderDelayed) })
+			reg.GaugeFunc(prefix+".reorder_in_custody", func() float64 { return float64(l.ReorderHeldNow()) })
+		}
 		if r := l.RED(); r != nil {
 			reg.GaugeFunc(prefix+".red_early_drops", func() float64 { return float64(r.EarlyDrops) })
 		}
+	}
+}
+
+// InstrumentReorder wires a stats.ReorderMeter into the observability
+// stack: sampled reordering trajectories (late-arrival rate, almost-
+// sorted k-bound, normalized footrule) and final aggregate gauges for
+// the run manifest. Attach only when metrics are enabled — the meter
+// itself hangs off flow hooks, so an uninstrumented run never observes.
+func InstrumentReorder(sp *Sampler, reg *Registry, m *stats.ReorderMeter, prefix string) {
+	if sp != nil {
+		sp.Watch(prefix+".rate", m.Rate)
+		sp.Watch(prefix+".kbound", func() float64 { return float64(m.KBound()) })
+		sp.Watch(prefix+".footrule", m.Footrule)
+	}
+	if reg != nil {
+		reg.GaugeFunc(prefix+".arrivals", func() float64 { return float64(m.Arrivals()) })
+		reg.GaugeFunc(prefix+".late", func() float64 { return float64(m.Late()) })
+		reg.GaugeFunc(prefix+".rate", m.Rate)
+		reg.GaugeFunc(prefix+".kbound", func() float64 { return float64(m.KBound()) })
+		reg.GaugeFunc(prefix+".footrule", m.Footrule)
+		reg.GaugeFunc(prefix+".overflow", func() float64 { return float64(m.Overflow()) })
 	}
 }
 

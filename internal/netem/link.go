@@ -34,6 +34,17 @@ type LinkStats struct {
 	// Duplicated is the number of extra packet copies the link delivered
 	// (SetDuplication); each copy also counts in Delivered.
 	Duplicated uint64
+	// ReorderHeld is the number of packets the reorder model took custody
+	// of (SetReorderModel); ReorderReleased the number it handed back.
+	// Held − Released is the model's current custody count, audited by
+	// the invariant checker: reordering delays packets but must conserve
+	// them.
+	ReorderHeld     uint64
+	ReorderReleased uint64
+	// ReorderDelayed is the number of pass-through packets whose release
+	// the reorder model pushed past their nominal arrival (striping
+	// detours, batch spacing) without taking custody.
+	ReorderDelayed uint64
 	// Dequeued is the number of packets whose serialization completed,
 	// freeing their queue slot.
 	Dequeued uint64
@@ -103,14 +114,11 @@ type Link struct {
 	// link construction so the per-packet delivery event captures nothing.
 	deliverFn func(any)
 
-	loss       LossModel
-	jitter     time.Duration
-	jitterRNG  *rand.Rand
-	corruptP   float64
-	corruptRNG *rand.Rand
-	dupP       float64
-	dupRNG     *rand.Rand
-	red        *RED
+	loss    LossModel
+	impair  Impairment
+	reorder ReorderModel
+	heldNow int
+	red     *RED
 
 	// OnDrop, if non-nil, is invoked for every packet lost on this link
 	// (queue overflow, random loss, blackout, or corruption); used by
@@ -145,11 +153,43 @@ func (l *Link) SetLossModel(m LossModel) { l.loss = m }
 // LossModel returns the installed loss process, or nil.
 func (l *Link) LossModel() LossModel { return l.loss }
 
+// SetImpairment installs the link's per-packet impairment process (nil
+// disables): jitter, corruption, and duplication are the shipped
+// building blocks, composable with Stack. The model is consulted once
+// per accepted packet, in arrival order, immediately after queue
+// admission.
+func (l *Link) SetImpairment(m Impairment) { l.impair = m }
+
+// Impairment returns the installed impairment process, or nil. A link
+// configured through the deprecated SetJitter/SetCorruption/
+// SetDuplication wrappers reports the composite those setters maintain.
+func (l *Link) Impairment() Impairment { return l.impair }
+
+// std returns the legacy composite the deprecated setters mutate,
+// creating it on first use. The setters and SetImpairment are mutually
+// exclusive configuration styles; mixing them would silently discard one
+// side, so it panics instead.
+func (l *Link) std() *stdImpair {
+	switch m := l.impair.(type) {
+	case nil:
+		s := &stdImpair{}
+		l.impair = s
+		return s
+	case *stdImpair:
+		return m
+	default:
+		panic(fmt.Sprintf("netem: legacy impairment setter on %s would clobber the Impairment installed via SetImpairment; configure a Stack instead", l))
+	}
+}
+
 // SetJitter adds an independent uniform extra propagation delay in
 // [0, jitter] per packet, modeling per-packet queueing variation in a
 // QoS/DiffServ element. Because each packet's delay is drawn
 // independently, jitter larger than a packet's serialization time causes
 // reordering on the link itself. The RNG must come from sim.NewRand.
+//
+// Deprecated: thin wrapper over SetImpairment, kept (byte-identical)
+// for existing call sites; new code should install a *Jitter directly.
 func (l *Link) SetJitter(jitter time.Duration, rng *rand.Rand) {
 	if jitter < 0 {
 		panic("netem: negative jitter")
@@ -157,8 +197,7 @@ func (l *Link) SetJitter(jitter time.Duration, rng *rand.Rand) {
 	if jitter > 0 && rng == nil {
 		panic("netem: SetJitter requires a seeded RNG")
 	}
-	l.jitter = jitter
-	l.jitterRNG = rng
+	l.std().jitter = Jitter{Max: jitter, RNG: rng}
 }
 
 // SetCorruption makes each delivered packet arrive corrupted with the
@@ -166,6 +205,9 @@ func (l *Link) SetJitter(jitter time.Duration, rng *rand.Rand) {
 // time, and propagation delay, then is discarded at the far end instead of
 // handed to the node (a checksum failure). The RNG must come from
 // sim.NewRand.
+//
+// Deprecated: thin wrapper over SetImpairment, kept (byte-identical)
+// for existing call sites; new code should install a *Corruption.
 func (l *Link) SetCorruption(prob float64, rng *rand.Rand) {
 	if prob < 0 || prob > 1 {
 		panic(fmt.Sprintf("netem: corruption probability %v out of [0,1]", prob))
@@ -173,8 +215,7 @@ func (l *Link) SetCorruption(prob float64, rng *rand.Rand) {
 	if prob > 0 && rng == nil {
 		panic("netem: SetCorruption requires a seeded RNG")
 	}
-	l.corruptP = prob
-	l.corruptRNG = rng
+	l.std().corrupt = Corruption{Prob: prob, RNG: rng}
 }
 
 // SetDuplication makes the link deliver an extra copy of each packet with
@@ -182,6 +223,9 @@ func (l *Link) SetCorruption(prob float64, rng *rand.Rand) {
 // The copy arrives immediately after the original with an independent
 // route state, so a duplicate on a multi-hop path forwards normally. The
 // RNG must come from sim.NewRand.
+//
+// Deprecated: thin wrapper over SetImpairment, kept (byte-identical)
+// for existing call sites; new code should install a *Duplication.
 func (l *Link) SetDuplication(prob float64, rng *rand.Rand) {
 	if prob < 0 || prob > 1 {
 		panic(fmt.Sprintf("netem: duplication probability %v out of [0,1]", prob))
@@ -189,9 +233,53 @@ func (l *Link) SetDuplication(prob float64, rng *rand.Rand) {
 	if prob > 0 && rng == nil {
 		panic("netem: SetDuplication requires a seeded RNG")
 	}
-	l.dupP = prob
-	l.dupRNG = rng
+	l.std().dup = Duplication{Prob: prob, RNG: rng}
 }
+
+// SetReorderModel installs the link's packet-reordering process (nil
+// disables) and binds it to this link as its ReleaseSink. Swapping
+// models while packets are in the old model's custody would strand them,
+// so it panics; install models before traffic or between drained runs.
+func (l *Link) SetReorderModel(m ReorderModel) {
+	if l.heldNow > 0 {
+		panic(fmt.Sprintf("netem: cannot swap reorder model on %s while %d packets are held", l, l.heldNow))
+	}
+	l.reorder = m
+	if m != nil {
+		if l.deliverFn == nil { // hand-built link (tests); AddLink pre-binds
+			l.deliverFn = l.deliverEvent
+		}
+		m.Bind(l)
+	}
+}
+
+// ReorderModel returns the installed reordering process, or nil.
+func (l *Link) ReorderModel() ReorderModel { return l.reorder }
+
+// ReorderHeldNow returns how many packets the reorder model currently
+// holds in custody (accepted, serialized, but not yet released for
+// delivery).
+func (l *Link) ReorderHeldNow() int { return l.heldNow }
+
+// Release implements ReleaseSink: the reorder model hands back a packet
+// it held, to be delivered at the given time (clamped to now). Releasing
+// more packets than are held is a model bug and panics — the custody
+// ledger must balance.
+func (l *Link) Release(p *Packet, at sim.Time) {
+	if l.heldNow <= 0 {
+		panic(fmt.Sprintf("netem: reorder model on %s released a packet it does not hold", l))
+	}
+	l.heldNow--
+	l.stats.ReorderReleased++
+	if now := l.sched.Now(); at < now {
+		at = now
+	}
+	l.sched.AtFunc(at, l.deliverFn, p)
+}
+
+// Scheduler implements ReleaseSink, exposing the link's scheduler for
+// model-owned timers.
+func (l *Link) Scheduler() *sim.Scheduler { return l.sched }
 
 // SetDown takes the link administratively down (true) or back up (false),
 // modeling a blackout: while down, every offered packet is rejected and
@@ -309,20 +397,45 @@ func (l *Link) Enqueue(p *Packet) bool {
 	} else {
 		l.sched.AtFunc(finish, linkDequeued, l)
 	}
-	delay := l.Delay
-	if l.jitter > 0 {
-		delay += time.Duration(l.jitterRNG.Int63n(int64(l.jitter) + 1))
-	}
 	// Impairment draws happen at enqueue time, in arrival order, so the
 	// RNG streams are consumed deterministically regardless of how the
 	// delivery events interleave with other links' traffic. The corruption
 	// verdict rides on the packet itself.
-	p.corrupt = l.corruptP > 0 && l.corruptRNG.Float64() < l.corruptP
-	if l.obs != nil {
-		l.obs.PacketEnqueued(l, p, start, finish, finish+delay)
+	var eff Effect
+	if l.impair != nil {
+		eff = l.impair.Apply(p.Size)
 	}
-	l.sched.AtFunc(finish+delay, l.deliverFn, p)
-	if l.dupP > 0 && l.dupRNG.Float64() < l.dupP {
+	arrive := finish + l.Delay + sim.Time(eff.ExtraDelay)
+	p.corrupt = eff.Corrupt
+	if l.obs != nil {
+		l.obs.PacketEnqueued(l, p, start, finish, arrive)
+	}
+	// The reorder model, if any, decides the release: immediately (with a
+	// possibly detoured release time) or by taking custody. The hold
+	// happens after serialization, modeling reordering in the far-end
+	// element (NIC coalescing, parallel sub-paths), so queue-slot
+	// accounting is untouched.
+	if l.reorder != nil {
+		rel, held := l.reorder.Admit(p, arrive)
+		if held {
+			l.heldNow++
+			l.stats.ReorderHeld++
+		} else {
+			if rel < arrive {
+				rel = arrive // models may delay, never deliver early
+			} else if rel > arrive {
+				l.stats.ReorderDelayed++
+			}
+			arrive = rel
+			l.sched.AtFunc(arrive, l.deliverFn, p)
+		}
+	} else {
+		l.sched.AtFunc(arrive, l.deliverFn, p)
+	}
+	if eff.Duplicate {
+		// The duplicate bypasses the reorder model: a link-layer repeat
+		// arrives at the original's release time when that is already
+		// known, or at the nominal arrival if the model took custody.
 		l.stats.Duplicated++
 		dup := l.newPacket()
 		*dup = *p
@@ -335,9 +448,9 @@ func (l *Link) Enqueue(p *Packet) bool {
 			dup.Trace = l.net.newTraceID()
 		}
 		if l.obs != nil {
-			l.obs.PacketDuplicated(l, p, dup, finish, finish+delay)
+			l.obs.PacketDuplicated(l, p, dup, finish, arrive)
 		}
-		l.sched.AtFunc(finish+delay, l.deliverFn, dup)
+		l.sched.AtFunc(arrive, l.deliverFn, dup)
 	}
 	return true
 }

@@ -1,0 +1,57 @@
+package stats
+
+import "testing"
+
+func TestReorderMeterInOrderStream(t *testing.T) {
+	m := NewReorderMeter(8)
+	for i := int64(0); i < 100; i++ {
+		m.Observe(i)
+	}
+	if m.Late() != 0 || m.Rate() != 0 || m.KBound() != 0 || m.Footrule() != 0 {
+		t.Fatalf("in-order stream measured as reordered: late=%d k=%d", m.Late(), m.KBound())
+	}
+	if m.Arrivals() != 100 {
+		t.Fatalf("arrivals = %d, want 100", m.Arrivals())
+	}
+}
+
+func TestReorderMeterKnownPermutation(t *testing.T) {
+	// Send order 0..5 arriving as 1,0,2,5,3,4: arrival 0 is 1 late,
+	// arrival 3 is 2 late, arrival 4 is 1 late.
+	m := NewReorderMeter(8)
+	for _, idx := range []int64{1, 0, 2, 5, 3, 4} {
+		m.Observe(idx)
+	}
+	if m.Late() != 3 {
+		t.Fatalf("late = %d, want 3", m.Late())
+	}
+	if m.KBound() != 2 {
+		t.Fatalf("k-bound = %d, want 2", m.KBound())
+	}
+	if got, want := m.Footrule(), 4.0/6.0; got != want {
+		t.Fatalf("footrule = %v, want %v", got, want)
+	}
+	if got, want := m.MeanLateExtent(), 4.0/3.0; got != want {
+		t.Fatalf("mean late extent = %v, want %v", got, want)
+	}
+	h := m.Histogram()
+	if h[0] != 2 || h[1] != 1 {
+		t.Fatalf("histogram %v, want extent-1 count 2 and extent-2 count 1", h)
+	}
+}
+
+func TestReorderMeterOverflowBucket(t *testing.T) {
+	m := NewReorderMeter(2)
+	m.Observe(10) // frontier
+	m.Observe(0)  // extent 10, beyond the 2-bucket cap
+	m.Observe(9)  // extent 1
+	if m.Overflow() != 1 {
+		t.Fatalf("overflow = %d, want 1", m.Overflow())
+	}
+	if m.Histogram()[0] != 1 {
+		t.Fatalf("histogram %v, want one extent-1 arrival", m.Histogram())
+	}
+	if m.KBound() != 10 {
+		t.Fatalf("k-bound = %d, want 10 (aggregates must ignore the cap)", m.KBound())
+	}
+}

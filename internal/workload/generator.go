@@ -1,0 +1,512 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tcppr/internal/faults"
+	"tcppr/internal/netem"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+)
+
+// GenStats is the common outcome ledger every traffic generator reports:
+// how many connections it opened, how many application transfers
+// completed, the payload they delivered, and the retry/abandonment
+// counts for abort-aware generators.
+type GenStats struct {
+	FlowsStarted   int
+	Transfers      int
+	BytesDelivered int64
+	Retries        int
+	GaveUp         int
+}
+
+// Generator is the unified traffic-source interface: every production
+// traffic shape — Pareto on/off, HTTP-like mixes, Poisson open-loop
+// arrivals, datacenter incast, mobile handoff — builds to this, so
+// experiments drive "a workload" without knowing its construction. Where
+// experiments.Spec is the registry seam for *what to measure*, ShapeSpec
+// (below) is the registry seam for *what traffic to offer*.
+type Generator interface {
+	// Start schedules the generator's first activity at the given
+	// virtual time. Call before the scheduler runs (and, for shapes that
+	// script faults, before Timeline.Install).
+	Start(at sim.Time)
+	// Done reports whether the generator has permanently stopped
+	// offering traffic (bounded shapes only; open-ended shapes always
+	// report false).
+	Done() bool
+	// Stats returns the outcome ledger so far.
+	Stats() GenStats
+}
+
+// Path is one src→dst lane a generator may place flows on.
+type Path struct {
+	Src, Dst *netem.Node
+	Fwd, Rev routing.Router
+}
+
+// Env is everything a traffic shape needs from its surroundings: the
+// network, a disjoint flow-ID base, the lanes it may use, its private
+// seeded RNG stream, the per-flow observation hook (conformance
+// checkers, tracers), and — for shapes that script network dynamics,
+// like mobile handoff — the fault timeline to write them into.
+type Env struct {
+	Net      *netem.Network
+	FlowBase int
+	Paths    []Path
+	RNG      *rand.Rand
+	OnFlow   func(f *tcp.Flow, protocol string)
+	Timeline *faults.Timeline
+}
+
+func (e Env) check(minPaths int) error {
+	if e.Net == nil {
+		return fmt.Errorf("workload: Env.Net is nil")
+	}
+	if e.RNG == nil {
+		return fmt.Errorf("workload: Env.RNG is nil (use sim.NewRand)")
+	}
+	if len(e.Paths) < minPaths {
+		return fmt.Errorf("workload: shape needs %d path(s), Env has %d", minPaths, len(e.Paths))
+	}
+	return nil
+}
+
+// Options is the small shared knob set every shape draws its defaults
+// from; zero values select sensible per-shape defaults, so
+// Options{Protocol: "TCP-PR"} is a complete configuration for any shape.
+type Options struct {
+	// Protocol carries every flow (default TCP-SACK); PR tunes TCP-PR.
+	Protocol string
+	PR       PRParams
+	// MeanSizePkts / ParetoShape / MeanThink parameterize transfer sizes
+	// and gaps for the closed-loop shapes (onoff, http, poisson pages;
+	// incast reuses MeanThink as its inter-round gap).
+	MeanSizePkts float64
+	ParetoShape  float64
+	MeanThink    time.Duration
+	// Retry makes closed-loop shapes abort-aware (see RetryConfig).
+	Retry *RetryConfig
+	// MaxTransfers bounds closed-loop shapes (0 = run forever).
+	MaxTransfers int
+	// Flows and Rate drive the poisson shape: Flows arrivals at Rate
+	// arrivals/second (defaults 100 and 10).
+	Flows int
+	Rate  float64
+	// BlockPkts and Rounds drive incast: every lane ships BlockPkts
+	// packets per synchronized round, for Rounds rounds (0 = unbounded).
+	BlockPkts int64
+	Rounds    int
+	// HandoffEvery / HandoffDelay / FlapFor drive the mobile-handoff
+	// shape: every HandoffEvery the access path's propagation delay
+	// steps by HandoffDelay (alternating) behind a FlapFor outage.
+	HandoffEvery time.Duration
+	HandoffDelay time.Duration
+	FlapFor      time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Protocol == "" {
+		o.Protocol = TCPSACK
+	}
+	if o.Flows == 0 {
+		o.Flows = 100
+	}
+	if o.Rate == 0 {
+		o.Rate = 10
+	}
+	if o.BlockPkts == 0 {
+		o.BlockPkts = 32
+	}
+	if o.HandoffEvery == 0 {
+		o.HandoffEvery = 5 * time.Second
+	}
+	if o.HandoffDelay == 0 {
+		o.HandoffDelay = 30 * time.Millisecond
+	}
+	if o.FlapFor == 0 {
+		o.FlapFor = 50 * time.Millisecond
+	}
+}
+
+// ShapeSpec is one registered traffic shape: a named constructor from
+// (Env, Options) to a Generator, discoverable exactly like an
+// experiments.Spec.
+type ShapeSpec struct {
+	Name     string
+	Describe string
+	Build    func(env Env, opts Options) (Generator, error)
+}
+
+var shapeRegistry []ShapeSpec
+
+// RegisterShape adds a traffic shape to the registry; duplicate names
+// are a programming error and panic.
+func RegisterShape(s ShapeSpec) {
+	if s.Name == "" || s.Build == nil {
+		panic("workload: RegisterShape needs a name and a builder")
+	}
+	for _, have := range shapeRegistry {
+		if have.Name == s.Name {
+			panic(fmt.Sprintf("workload: duplicate shape %q", s.Name))
+		}
+	}
+	shapeRegistry = append(shapeRegistry, s)
+}
+
+// Shapes returns the registered traffic shapes in registration order.
+func Shapes() []ShapeSpec {
+	out := make([]ShapeSpec, len(shapeRegistry))
+	copy(out, shapeRegistry)
+	return out
+}
+
+// ShapeNames returns the registered shape names in registration order.
+func ShapeNames() []string {
+	names := make([]string, len(shapeRegistry))
+	for i, s := range shapeRegistry {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ShapeByName looks up a registered traffic shape.
+func ShapeByName(name string) (ShapeSpec, error) {
+	for _, s := range shapeRegistry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	known := append([]string(nil), ShapeNames()...)
+	sort.Strings(known)
+	return ShapeSpec{}, fmt.Errorf("workload: unknown shape %q (have %v)", name, known)
+}
+
+func init() {
+	RegisterShape(ShapeSpec{
+		Name:     "onoff",
+		Describe: "web-like on/off source: Pareto page sizes, exponential think times",
+		Build: func(env Env, opts Options) (Generator, error) {
+			opts.fill()
+			if err := env.check(1); err != nil {
+				return nil, err
+			}
+			p := env.Paths[0]
+			return NewOnOffSource(env.Net, env.FlowBase, p.Src, p.Dst, p.Fwd, p.Rev, OnOffConfig{
+				MeanSizePkts: opts.MeanSizePkts,
+				ParetoShape:  opts.ParetoShape,
+				MeanThink:    opts.MeanThink,
+				Protocol:     opts.Protocol,
+				OnFlow:       env.OnFlow,
+				Retry:        opts.Retry,
+				MaxTransfers: opts.MaxTransfers,
+			}, env.RNG), nil
+		},
+	})
+	RegisterShape(ShapeSpec{
+		Name:     "http",
+		Describe: "HTTP-like request mix: 70% tiny API calls, 25% page objects, 5% large downloads",
+		Build: func(env Env, opts Options) (Generator, error) {
+			opts.fill()
+			if err := env.check(1); err != nil {
+				return nil, err
+			}
+			if opts.MeanThink == 0 {
+				opts.MeanThink = 300 * time.Millisecond
+			}
+			p := env.Paths[0]
+			return NewOnOffSource(env.Net, env.FlowBase, p.Src, p.Dst, p.Fwd, p.Rev, OnOffConfig{
+				MeanThink:    opts.MeanThink,
+				Protocol:     opts.Protocol,
+				OnFlow:       env.OnFlow,
+				Retry:        opts.Retry,
+				MaxTransfers: opts.MaxTransfers,
+				SizePkts:     httpSizePkts,
+			}, env.RNG), nil
+		},
+	})
+	RegisterShape(ShapeSpec{
+		Name:     "poisson",
+		Describe: "open-loop Poisson flow arrivals with Pareto transfer sizes",
+		Build: func(env Env, opts Options) (Generator, error) {
+			opts.fill()
+			if err := env.check(1); err != nil {
+				return nil, err
+			}
+			if opts.Flows < 1 || opts.Rate <= 0 {
+				return nil, fmt.Errorf("workload: poisson shape needs Flows >= 1 and Rate > 0")
+			}
+			return &poissonGen{env: env, opts: opts}, nil
+		},
+	})
+	RegisterShape(ShapeSpec{
+		Name:     "incast",
+		Describe: "datacenter incast: every lane ships a fixed block in synchronized rounds",
+		Build: func(env Env, opts Options) (Generator, error) {
+			opts.fill()
+			if err := env.check(1); err != nil {
+				return nil, err
+			}
+			if opts.MeanThink == 0 {
+				opts.MeanThink = 50 * time.Millisecond
+			}
+			return &incastGen{env: env, opts: opts}, nil
+		},
+	})
+	RegisterShape(ShapeSpec{
+		Name:     "handoff",
+		Describe: "mobile handoff: one long flow; access delay steps + brief path flaps on a cadence",
+		Build: func(env Env, opts Options) (Generator, error) {
+			opts.fill()
+			if err := env.check(1); err != nil {
+				return nil, err
+			}
+			if env.Timeline == nil {
+				return nil, fmt.Errorf("workload: handoff shape needs Env.Timeline")
+			}
+			if opts.Rounds == 0 {
+				opts.Rounds = 6
+			}
+			fwd, rev, err := staticAccess(env.Paths[0])
+			if err != nil {
+				return nil, err
+			}
+			return &handoffGen{env: env, opts: opts, fwdAccess: fwd, revAccess: rev}, nil
+		},
+	})
+}
+
+// httpSizePkts is the request-size mixture of the http shape: mostly
+// small API-call responses, a band of page objects, and an occasional
+// heavy download — the three-mode shape production HTTP traffic has.
+func httpSizePkts(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	switch {
+	case u < 0.70:
+		return 1 + rng.Int63n(4)
+	case u < 0.95:
+		return 8 + rng.Int63n(25)
+	default:
+		return 100 + rng.Int63n(301)
+	}
+}
+
+// paretoPkts draws a Pareto(shape) transfer size with the given mean,
+// clamped to [1, 10000] packets so one tail draw cannot dominate a run.
+func paretoPkts(rng *rand.Rand, meanPkts, shape float64) int64 {
+	xm := meanPkts * (shape - 1) / shape
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	size := xm / math.Pow(u, 1/shape)
+	if size < 1 {
+		size = 1
+	}
+	if size > 10000 {
+		size = 10000
+	}
+	return int64(size)
+}
+
+// withMax returns pr with the transfer bound set.
+func withMax(pr PRParams, pkts int64) PRParams {
+	pr.MaxDataPkts = pkts
+	return pr
+}
+
+// staticAccess extracts the first-hop access link of a lane (and its
+// reverse-direction twin) from statically routed paths — the links a
+// handoff re-homes. Dynamic routers have no single access link to step.
+func staticAccess(p Path) (fwd, rev *netem.Link, err error) {
+	sf, okF := p.Fwd.(routing.Static)
+	sr, okR := p.Rev.(routing.Static)
+	if !okF || !okR || len(sf.Path) == 0 || len(sr.Path) == 0 {
+		return nil, nil, fmt.Errorf("workload: handoff shape needs non-empty routing.Static paths")
+	}
+	return sf.Path[0], sr.Path[len(sr.Path)-1], nil
+}
+
+// poissonGen is the open-loop shape: all arrival times and transfer
+// sizes are drawn up front from the env RNG (so the offered load is a
+// pure function of the seed, independent of network feedback), then each
+// arrival opens one finite transfer on a round-robin lane.
+type poissonGen struct {
+	env       Env
+	opts      Options
+	stats     GenStats
+	completed int
+}
+
+func (g *poissonGen) Start(at sim.Time) {
+	mean, shape := g.opts.MeanSizePkts, g.opts.ParetoShape
+	if mean == 0 {
+		mean = 20
+	}
+	if shape == 0 {
+		shape = 1.5
+	}
+	starts := PoissonStarts(g.opts.Flows, at, g.opts.Rate, g.env.RNG)
+	sizes := make([]int64, len(starts))
+	for i := range sizes {
+		sizes[i] = paretoPkts(g.env.RNG, mean, shape)
+	}
+	sched := g.env.Net.Scheduler()
+	for i, t := range starts {
+		i := i
+		sched.At(t, func() { g.open(i, sizes[i]) })
+	}
+}
+
+func (g *poissonGen) open(i int, pkts int64) {
+	g.stats.FlowsStarted++
+	lane := g.env.Paths[i%len(g.env.Paths)]
+	f := tcp.NewFlow(g.env.Net, g.env.FlowBase+i+1, lane.Src, lane.Dst, lane.Fwd, lane.Rev)
+	target := pkts * int64(f.PktSize)
+	settled := false
+	f.Hooks = f.Hooks.Chain(tcp.FlowHooks{
+		OnAckSent: func(_ tcp.Ack, _ sim.Time) {
+			if settled || f.UniqueBytes() < target {
+				return
+			}
+			settled = true
+			g.stats.Transfers++
+			g.stats.BytesDelivered += f.UniqueBytes()
+			g.completed++
+		},
+	})
+	f.Attach(Factory(g.opts.Protocol, withMax(g.opts.PR, pkts)))
+	if g.env.OnFlow != nil {
+		g.env.OnFlow(f, g.opts.Protocol)
+	}
+	f.Start(g.env.Net.Scheduler().Now())
+}
+
+func (g *poissonGen) Done() bool      { return g.completed >= g.opts.Flows }
+func (g *poissonGen) Stats() GenStats { return g.stats }
+
+// incastGen is the datacenter shape: every lane ships BlockPkts to its
+// destination simultaneously; the next round starts one gap after the
+// last responder finishes, so the rounds stay synchronized — the queue-
+// collapse pattern partition/aggregate workloads produce.
+type incastGen struct {
+	env     Env
+	opts    Options
+	stats   GenStats
+	round   int
+	pending int
+	stopped bool
+}
+
+func (g *incastGen) Start(at sim.Time) {
+	g.env.Net.Scheduler().At(at, g.beginRound)
+}
+
+func (g *incastGen) beginRound() {
+	if g.stopped {
+		return
+	}
+	g.round++
+	g.pending = len(g.env.Paths)
+	now := g.env.Net.Scheduler().Now()
+	for i, lane := range g.env.Paths {
+		g.stats.FlowsStarted++
+		id := g.env.FlowBase + (g.round-1)*len(g.env.Paths) + i + 1
+		f := tcp.NewFlow(g.env.Net, id, lane.Src, lane.Dst, lane.Fwd, lane.Rev)
+		target := g.opts.BlockPkts * int64(f.PktSize)
+		settled := false
+		f.Hooks = f.Hooks.Chain(tcp.FlowHooks{
+			OnAckSent: func(_ tcp.Ack, _ sim.Time) {
+				if settled || f.UniqueBytes() < target {
+					return
+				}
+				settled = true
+				g.stats.Transfers++
+				g.stats.BytesDelivered += f.UniqueBytes()
+				g.finishOne()
+			},
+			OnAbort: func(_ tcp.AbortReason, _ sim.Time) {
+				if settled {
+					return
+				}
+				settled = true
+				g.stats.GaveUp++
+				g.finishOne()
+			},
+		})
+		f.Attach(Factory(g.opts.Protocol, withMax(g.opts.PR, g.opts.BlockPkts)))
+		if g.env.OnFlow != nil {
+			g.env.OnFlow(f, g.opts.Protocol)
+		}
+		f.Start(now)
+	}
+}
+
+func (g *incastGen) finishOne() {
+	g.pending--
+	if g.pending > 0 {
+		return
+	}
+	if g.opts.Rounds > 0 && g.round >= g.opts.Rounds {
+		g.stopped = true
+		return
+	}
+	g.env.Net.Scheduler().After(g.opts.MeanThink, g.beginRound)
+}
+
+func (g *incastGen) Done() bool      { return g.stopped }
+func (g *incastGen) Stats() GenStats { return g.stats }
+
+// handoffGen is the mobile shape: one long-lived flow whose access path
+// re-homes on a cadence — each handoff is a brief outage (the radio gap)
+// plus a propagation-delay step (the new path), written into the fault
+// timeline. Start must run before Timeline.Install so the scripted
+// faults are scheduled.
+type handoffGen struct {
+	env                  Env
+	opts                 Options
+	fwdAccess, revAccess *netem.Link
+	flow                 *tcp.Flow
+}
+
+func (g *handoffGen) Start(at sim.Time) {
+	lane := g.env.Paths[0]
+	f := tcp.NewFlow(g.env.Net, g.env.FlowBase+1, lane.Src, lane.Dst, lane.Fwd, lane.Rev)
+	f.Attach(Factory(g.opts.Protocol, g.opts.PR)) // infinite backlog
+	if g.env.OnFlow != nil {
+		g.env.OnFlow(f, g.opts.Protocol)
+	}
+	f.Start(at)
+	g.flow = f
+
+	fwdBase, revBase := g.fwdAccess.Delay, g.revAccess.Delay
+	tl := g.env.Timeline
+	for k := 1; k <= g.opts.Rounds; k++ {
+		t := at + sim.Time(k)*sim.Time(g.opts.HandoffEvery)
+		step := time.Duration(0)
+		if k%2 == 1 { // odd handoffs land on the farther cell, even ones come back
+			step = g.opts.HandoffDelay
+		}
+		tl.Blackout(g.fwdAccess, t, t+sim.Time(g.opts.FlapFor))
+		tl.Blackout(g.revAccess, t, t+sim.Time(g.opts.FlapFor))
+		tl.DelayStep(g.fwdAccess, t, fwdBase+step)
+		tl.DelayStep(g.revAccess, t, revBase+step)
+	}
+}
+
+func (g *handoffGen) Done() bool { return false }
+
+func (g *handoffGen) Stats() GenStats {
+	st := GenStats{}
+	if g.flow != nil {
+		st.FlowsStarted = 1
+		st.BytesDelivered = g.flow.UniqueBytes()
+	}
+	return st
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"tcppr/internal/faults"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/topo"
+)
+
+// dumbbellEnv wires a one-host dumbbell into a shape Env.
+func dumbbellEnv(sched *sim.Scheduler, seed int64) (Env, *topo.Dumbbell) {
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+	return Env{
+		Net:      d.Net,
+		FlowBase: 50_000,
+		Paths: []Path{{
+			Src: d.Src(0), Dst: d.Dst(0),
+			Fwd: routing.Static{Path: d.FwdPath(0)},
+			Rev: routing.Static{Path: d.RevPath(0)},
+		}},
+		RNG: sim.NewRand(seed),
+	}, d
+}
+
+// TestShapeRegistry: the five production shapes are registered, lookups
+// resolve, and unknown names fail loudly.
+func TestShapeRegistry(t *testing.T) {
+	names := ShapeNames()
+	want := []string{"onoff", "http", "poisson", "incast", "handoff"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("shape %q not registered (have %v)", w, names)
+		}
+	}
+	if _, err := ShapeByName("bogus"); err == nil {
+		t.Fatal("unknown shape lookup did not error")
+	}
+}
+
+// TestShapesDeliverTraffic drives every closed-loop shape on a dumbbell
+// through the uniform Generator interface and requires real deliveries.
+func TestShapesDeliverTraffic(t *testing.T) {
+	for _, tc := range []struct {
+		shape string
+		opts  Options
+	}{
+		{"onoff", Options{MeanSizePkts: 10, MeanThink: 100 * time.Millisecond}},
+		{"http", Options{MeanThink: 100 * time.Millisecond}},
+		{"poisson", Options{Flows: 20, Rate: 5, MeanSizePkts: 10}},
+		{"incast", Options{BlockPkts: 16, Rounds: 3}},
+	} {
+		t.Run(tc.shape, func(t *testing.T) {
+			sched := sim.NewScheduler()
+			env, _ := dumbbellEnv(sched, 33)
+			spec, err := ShapeByName(tc.shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := spec.Build(env, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen.Start(0)
+			sched.RunUntil(30 * time.Second)
+			st := gen.Stats()
+			if st.Transfers == 0 || st.BytesDelivered == 0 {
+				t.Fatalf("%s delivered nothing: %+v", tc.shape, st)
+			}
+			if st.FlowsStarted == 0 {
+				t.Fatalf("%s opened no flows", tc.shape)
+			}
+		})
+	}
+}
+
+// TestOnOffSourceIsGenerator pins the API redesign: the pre-existing
+// on/off source satisfies the unified interface directly.
+func TestOnOffSourceIsGenerator(t *testing.T) {
+	var _ Generator = (*OnOffSource)(nil)
+}
+
+// TestIncastRoundsAreSynchronizedAndBounded: a 3-round incast stops on
+// its own and completes every lane each round.
+func TestIncastRoundsAreBounded(t *testing.T) {
+	sched := sim.NewScheduler()
+	env, _ := dumbbellEnv(sched, 5)
+	spec, _ := ShapeByName("incast")
+	gen, err := spec.Build(env, Options{BlockPkts: 8, Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start(0)
+	sched.RunUntil(60 * time.Second)
+	st := gen.Stats()
+	if !gen.Done() {
+		t.Fatal("bounded incast never reported Done")
+	}
+	if st.Transfers != 3*len(env.Paths) {
+		t.Fatalf("transfers = %d, want %d (3 rounds × %d lanes)", st.Transfers, 3*len(env.Paths), len(env.Paths))
+	}
+}
+
+// TestHandoffShapeScriptsTimeline: the mobile-handoff generator writes
+// its outages and delay steps into the fault timeline and keeps one
+// long-lived flow delivering across them.
+func TestHandoffShapeScriptsTimeline(t *testing.T) {
+	sched := sim.NewScheduler()
+	env, d := dumbbellEnv(sched, 9)
+	tl := faults.NewTimeline()
+	env.Timeline = tl
+	spec, _ := ShapeByName("handoff")
+	gen, err := spec.Build(env, Options{
+		Protocol:     TCPPR,
+		HandoffEvery: 2 * time.Second,
+		HandoffDelay: 20 * time.Millisecond,
+		FlapFor:      40 * time.Millisecond,
+		Rounds:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start(0)
+	tl.Install(sched)
+	// 4 handoffs × (2 blackouts = 4 events incl. restore) + 2 delay steps.
+	if tl.Len() == 0 {
+		t.Fatal("handoff generator scripted no faults")
+	}
+	sched.RunUntil(12 * time.Second)
+	if len(tl.Applied()) < 8 {
+		t.Fatalf("only %d fault events applied, want the full handoff script", len(tl.Applied()))
+	}
+	st := gen.Stats()
+	if st.BytesDelivered == 0 {
+		t.Fatal("handoff flow delivered nothing across the handoffs")
+	}
+	accessBefore := d.Net.FindLink("s0", "L")
+	if accessBefore == nil {
+		t.Fatal("no access link s0->L in dumbbell")
+	}
+}
+
+// TestHandoffRequiresTimelineAndStaticRoutes: misconfiguration is a
+// build-time error, not a mid-run panic.
+func TestHandoffRequiresTimeline(t *testing.T) {
+	sched := sim.NewScheduler()
+	env, _ := dumbbellEnv(sched, 1)
+	spec, _ := ShapeByName("handoff")
+	if _, err := spec.Build(env, Options{}); err == nil {
+		t.Fatal("handoff built without a timeline")
+	}
+}
+
+// TestPoissonOfferedLoadIsOpenLoop: the arrival/size processes depend
+// only on the seed — two generators with the same seed open identical
+// flow counts even if run lengths differ.
+func TestPoissonDeterministicOfferedLoad(t *testing.T) {
+	run := func(until time.Duration) GenStats {
+		sched := sim.NewScheduler()
+		env, _ := dumbbellEnv(sched, 77)
+		spec, _ := ShapeByName("poisson")
+		gen, err := spec.Build(env, Options{Flows: 30, Rate: 10, MeanSizePkts: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Start(0)
+		sched.RunUntil(sim.Time(until))
+		return gen.Stats()
+	}
+	a, b := run(20*time.Second), run(20*time.Second)
+	if a != b {
+		t.Fatalf("same-seed poisson runs diverged: %+v vs %+v", a, b)
+	}
+	if a.FlowsStarted != 30 {
+		t.Fatalf("opened %d flows, want all 30", a.FlowsStarted)
+	}
+}

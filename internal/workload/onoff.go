@@ -1,7 +1,6 @@
 package workload
 
 import (
-	"math"
 	"math/rand"
 	"time"
 
@@ -43,6 +42,10 @@ type OnOffConfig struct {
 	// completed transfers (0 = keep going for the whole run). Bounded
 	// sources let drain tests assert full event-queue quiescence.
 	MaxTransfers int
+	// SizePkts, when set, replaces the Pareto sampler: each transfer's
+	// size in packets is drawn from it (using the source's RNG). The
+	// http shape plugs its request-size mixture in here.
+	SizePkts func(rng *rand.Rand) int64
 }
 
 func (c *OnOffConfig) fill() {
@@ -122,24 +125,24 @@ func (s *OnOffSource) Start(at sim.Time) {
 // pareto draws a Pareto(shape, xm) sample with the configured mean:
 // mean = xm*shape/(shape-1) => xm = mean*(shape-1)/shape.
 func (s *OnOffSource) pareto() int64 {
-	xm := s.cfg.MeanSizePkts * (s.cfg.ParetoShape - 1) / s.cfg.ParetoShape
-	u := s.rng.Float64()
-	for u == 0 {
-		u = s.rng.Float64()
-	}
-	size := xm / math.Pow(u, 1/s.cfg.ParetoShape)
-	if size < 1 {
-		size = 1
-	}
-	if size > 10000 {
-		size = 10000 // cap the tail so one draw cannot dominate a run
-	}
-	return int64(size)
+	return paretoPkts(s.rng, s.cfg.MeanSizePkts, s.cfg.ParetoShape)
 }
 
 // Done reports whether the source has stopped for good: it either hit
 // MaxTransfers or abandoned a transfer after exhausting its retry budget.
 func (s *OnOffSource) Done() bool { return s.stopped }
+
+// Stats implements Generator, folding the exported counters into the
+// common ledger.
+func (s *OnOffSource) Stats() GenStats {
+	return GenStats{
+		FlowsStarted:   s.flowSeq,
+		Transfers:      s.Transfers,
+		BytesDelivered: s.BytesDelivered,
+		Retries:        s.Retries,
+		GaveUp:         s.GaveUp,
+	}
+}
 
 // beginTransfer draws the next page size and opens its first connection.
 func (s *OnOffSource) beginTransfer() {
@@ -147,7 +150,14 @@ func (s *OnOffSource) beginTransfer() {
 		return
 	}
 	s.attempt = 0
-	s.curTargetPkts = s.pareto()
+	if s.cfg.SizePkts != nil {
+		s.curTargetPkts = s.cfg.SizePkts(s.rng)
+		if s.curTargetPkts < 1 {
+			s.curTargetPkts = 1
+		}
+	} else {
+		s.curTargetPkts = s.pareto()
+	}
 	s.startAttempt()
 }
 
