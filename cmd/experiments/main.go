@@ -4,7 +4,7 @@
 //
 //	experiments [-run name] [-fig n] [-list] [-quick] [-csv dir]
 //	            [-metrics dir] [-trace dir] [-flight-recorder]
-//	            [-parallel n] [-seed n] [-shards n] [-check]
+//	            [-parallel n] [-seed n] [-shards n] [-repair name] [-check]
 //	            [-fuzz n] [-fuzz-seed n]
 //	            [-cpuprofile file] [-memprofile file]
 //
@@ -28,8 +28,10 @@
 // TRACING.md.
 //
 // -shards pins the sharded-city experiment (-run city) to one shard count
-// instead of its default 1-vs-4 scaling sweep; other experiments ignore
-// it.
+// instead of its default 1-vs-4 scaling sweep; -repair pins the
+// repair-middlebox matrix (-run repairmatrix) to one repair scenario
+// instead of its default {none, repair, repair-tight} sweep. Other
+// experiments ignore them.
 //
 // -check attaches the internal/invariant conformance oracle to every
 // simulation cell; any violation fails the run with a nonzero exit.
@@ -64,6 +66,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent simulation cells (0 = one per CPU)")
 	seed := flag.Int64("seed", 0, "base seed override for seeded experiments (0 = default)")
 	shards := flag.Int("shards", 0, "pin the city experiment to one shard count (0 = its default sweep)")
+	repair := flag.String("repair", "", "pin the repairmatrix experiment to one repair scenario (empty = its default sweep)")
 	check := flag.Bool("check", false, "attach the invariant oracle to every cell; violations fail the run")
 	fuzz := flag.Int("fuzz", 0, "run N randomized invariant-checked scenarios instead of experiments")
 	fuzzSeed := flag.Int64("fuzz-seed", 0, "replay one fuzz scenario by seed and report its violations")
@@ -93,7 +96,7 @@ func main() {
 	}
 	experiments.SetParallelism(*parallel)
 
-	cfg := experiments.RunConfig{Seed: *seed, Shards: *shards, CheckInvariants: *check}
+	cfg := experiments.RunConfig{Seed: *seed, Shards: *shards, Repair: *repair, CheckInvariants: *check}
 	if *quick {
 		cfg.Durations = experiments.Quick
 	}

@@ -14,8 +14,10 @@
 //
 // -reorder installs one of internal/netem's canned reorder models on the
 // bottleneck's data direction ('-reorder list' enumerates them); -jitter
-// adds uniform random extra delay there through the Impairment seam. Both
-// need a bottleneck, so they support dumbbell|parkinglot only.
+// adds uniform random extra delay there through the Impairment seam;
+// -repair installs a canned reorder-repair middlebox that resequences the
+// bottleneck's deliveries ('-repair list' enumerates the scenarios). All
+// three need a bottleneck, so they support dumbbell|parkinglot only.
 //
 // -check attaches the internal/invariant conformance oracle to the run;
 // any violation is printed and the process exits nonzero.
@@ -70,6 +72,7 @@ func main() {
 	hostFaultName := flag.String("host-faults", "", "canned host scenario to inject at the first destination host ('list' to enumerate)")
 	reorderName := flag.String("reorder", "", "canned reorder model to install on the bottleneck ('list' to enumerate)")
 	jitter := flag.Duration("jitter", 0, "uniform random extra delay on the bottleneck (dumbbell|parkinglot)")
+	repairName := flag.String("repair", "", "canned repair-middlebox scenario on the bottleneck ('list' to enumerate)")
 	abortR1 := flag.Int("abort-r1", 0, "RFC 1122 R1: consecutive timeouts before notifying (0 disables)")
 	abortR2 := flag.Int("abort-r2", 0, "RFC 1122 R2: consecutive timeouts before aborting the connection (0 disables)")
 	abortUser := flag.Duration("abort-user-timeout", 0, "abort after this long without forward progress (0 disables)")
@@ -95,6 +98,12 @@ func main() {
 	if *reorderName == "list" {
 		for _, sc := range netem.ReorderScenarios() {
 			fmt.Printf("%-12s %s\n", sc.Name, sc.Describe)
+		}
+		return
+	}
+	if *repairName == "list" {
+		for _, sc := range netem.RepairScenarios() {
+			fmt.Printf("%-14s %s\n", sc.Name, sc.Describe)
 		}
 		return
 	}
@@ -158,8 +167,13 @@ func main() {
 			reject("%v", err)
 		}
 	}
-	if (*reorderName != "" || *jitter > 0) && !hasBottleneck {
-		reject("-reorder/-jitter need a bottleneck link; they support dumbbell|parkinglot only")
+	if *repairName != "" {
+		if _, err := netem.RepairScenarioByName(*repairName); err != nil {
+			reject("%v", err)
+		}
+	}
+	if (*reorderName != "" || *jitter > 0 || *repairName != "") && !hasBottleneck {
+		reject("-reorder/-jitter/-repair need a bottleneck link; they support dumbbell|parkinglot only")
 	}
 	if (*faultName != "" || *hostFaultName != "") && !hasBottleneck {
 		reject("-faults/-host-faults support dumbbell|parkinglot only")
@@ -191,7 +205,7 @@ func main() {
 	paths := tracePaths{json: *traceJSON, tsv: *traceTSV, flight: *flightPath}
 	fi := faultInject{
 		link: *faultName, host: *hostFaultName, at: *faultAt,
-		reorder: *reorderName, jitter: *jitter,
+		reorder: *reorderName, jitter: *jitter, repair: *repairName,
 		abort: tcp.AbortConfig{R1: *abortR1, R2: *abortR2, UserTimeout: *abortUser},
 	}
 	switch *topology {
@@ -229,6 +243,7 @@ type faultInject struct {
 	at         time.Duration
 	reorder    string
 	jitter     time.Duration
+	repair     string
 	abort      tcp.AbortConfig
 }
 
@@ -289,6 +304,21 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 	if fi.jitter > 0 {
 		bottlenecks[0].SetImpairment(netem.NewJitter(fi.jitter, sim.NewRand(sim.SplitSeed(seed, 102))))
 	}
+	// An optional repair middlebox resequences the same direction the
+	// reorder model scrambles. The box is deterministic (no RNG); it must
+	// be flushed after the horizon so its custody ledger closes before the
+	// invariant oracle's end-of-run audit.
+	var box *netem.RepairBox
+	if fi.repair != "" {
+		sc, err := netem.RepairScenarioByName(fi.repair)
+		if err != nil {
+			fatalErr(err)
+		}
+		if box = sc.New(); box != nil {
+			bottlenecks[0].SetRepair(box)
+		}
+		fmt.Printf("repair: scenario %q on %s (%s)\n\n", sc.Name, bottlenecks[0], sc.Describe)
+	}
 
 	name := "tcpsim_" + topology
 	if fi.link != "" {
@@ -299,6 +329,9 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 	}
 	if fi.reorder != "" {
 		name += "_" + fi.reorder
+	}
+	if fi.repair != "" {
+		name += "_" + fi.repair
 	}
 	ob := newObserver(metricsDir, name, sched)
 	ob.observe(flowsOut, bottlenecks)
@@ -341,6 +374,13 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 	}
 
 	measureAndReport(sched, flowsOut, warm, dur)
+	if box != nil {
+		box.Flush()
+		st := box.Stats()
+		fmt.Printf("\nrepair: held %d released %d timed-out %d overflow fwd/drop %d/%d evicted %d flushed %d\n",
+			st.Held, st.Released, st.TimedOut, st.OverflowForwarded, st.OverflowDropped,
+			st.Evicted, st.Flushed)
+	}
 	for _, wf := range flowsOut {
 		if wf.Flow.Aborted() {
 			fmt.Printf("flow %d (%s) aborted at %v: %s\n", wf.ID, wf.Protocol,

@@ -219,8 +219,8 @@ type Sender struct {
 	inflight   map[int64]*flight // to-be-ack
 	flightFree []*flight         // recycled to-be-ack entries (hot-path pool)
 	retxQueue  tcp.IntervalSet   // to-be-sent: sequences awaiting retransmission
-	nextNew   int64             // to-be-sent: head of the infinite new-data supply
-	una       int64             // highest cumulative ack seen
+	nextNew    int64             // to-be-sent: head of the infinite new-data supply
+	una        int64             // highest cumulative ack seen
 
 	memorizeCount int      // size of the memorize list (flagged in-flight packets)
 	cburst        int      // drops charged to the current burst (§3.2)
@@ -232,7 +232,7 @@ type Sender struct {
 
 	pausedUntil sim.Time // extreme-loss send pause
 	resumeTimer *sim.Timer
-	stopped     bool // set by Stop (connection abort); flush refuses to send
+	stopped     bool      // set by Stop (connection abort); flush refuses to send
 	checkDropFn func(any) // prebound trampoline for per-packet loss timers
 	lastRetx    sim.Time  // time of the last retransmission (see checkDrop)
 	hasRetx     bool

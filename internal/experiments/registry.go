@@ -46,6 +46,11 @@ type RunConfig struct {
 	// also arms the event/packet pool ownership checks for the checked
 	// cells.
 	CheckInvariants bool
+	// Repair, when non-empty, pins the repair-middlebox matrix to exactly
+	// that repair scenario (a netem.RepairScenario name) instead of its
+	// default {none, repair, repair-tight} sweep. Experiments without a
+	// middlebox axis ignore it.
+	Repair string
 	// Trace, when non-nil, attaches the internal/span causal tracer to
 	// every simulation cell that plumbs it (currently faultmatrix),
 	// exporting per-cell Perfetto traces and span TSVs — plus flight dumps
@@ -480,6 +485,41 @@ var specs = []Spec{
 				},
 			}
 			return rep.finish(cfg, inv, "reordermatrix", true)
+		},
+	},
+	{
+		Name:     "repairmatrix",
+		Describe: "Repair-middlebox matrix: reorder models × repair boxes × every protocol",
+		Run: func(cfg RunConfig) (Report, error) {
+			inv := cfg.invariants()
+			c := RepairMatrixConfig{Seed: cfg.Seed, Metrics: cfg.Metrics, Invariants: inv, Trace: cfg.Trace}
+			// Absolute simulated time, like the other matrices. Quick and
+			// Smoke trim the run; Smoke also trims the protocol and model
+			// axes to the headline comparison (the swap model punishes
+			// dupack-threshold senders hardest, so it shows the repair
+			// effect most clearly).
+			if cfg.Smoke || cfg.Durations == Quick {
+				c.Total = 12 * time.Second
+			}
+			if cfg.Smoke {
+				c.Protocols = []string{workload.TCPPR, workload.NewReno, workload.TCPSACK}
+				c.Models = []string{"swap-high"}
+			}
+			if cfg.Repair != "" {
+				c.Boxes = []string{cfg.Repair}
+			}
+			res, err := RunRepairMatrix(c)
+			if err != nil {
+				return nil, err
+			}
+			rep := report{
+				tables: []*Table{res.Table(), res.DetailTable()},
+				csvs: []CSVFile{
+					{"repairmatrix.csv", res.Table()},
+					{"repairmatrix_detail.csv", res.DetailTable()},
+				},
+			}
+			return rep.finish(cfg, inv, "repairmatrix", true)
 		},
 	},
 }

@@ -14,7 +14,7 @@ func TestRegistryNamesStable(t *testing.T) {
 		"fig2", "fig3", "fig4", "fig6",
 		"ablation-beta", "ablation-memorize", "ablation-sendcwnd", "ablation-holemode",
 		"ext-threshold", "ext-reorder", "ext-robustness", "ext-door",
-		"city", "faultmatrix", "churnmatrix", "reordermatrix",
+		"city", "faultmatrix", "churnmatrix", "reordermatrix", "repairmatrix",
 	}
 	got := Names()
 	if len(got) != len(want) {

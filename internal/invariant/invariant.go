@@ -202,6 +202,15 @@ func (c *Checker) Finish() {
 				"delivered %d + corrupted %d exceeds enqueued %d + duplicated %d",
 				st.Delivered, st.Corrupted, st.Enqueued, st.Duplicated)
 		}
+		// Unlike a reorder model (whose custody may legitimately straddle
+		// the horizon), a repair middlebox must be flushed at end of run:
+		// every held packet is delivered, dropped, or flushed — never
+		// silently stranded in a buffer.
+		if w.l.Repair() != nil && w.l.RepairHeldNow() != 0 {
+			c.violatef(w.l.String(), "repair-ledger",
+				"%d packets still in middlebox custody at end of run (missing RepairBox.Flush?)",
+				w.l.RepairHeldNow())
+		}
 	}
 }
 
@@ -220,6 +229,23 @@ func (w *linkWatch) checkReorderLedger() {
 	if held := w.l.ReorderHeldNow(); uint64(held) != st.ReorderHeld-st.ReorderReleased {
 		w.c.violatef(w.l.String(), "reorder-ledger",
 			"reorder custody count %d != held %d - released %d", held, st.ReorderHeld, st.ReorderReleased)
+	}
+}
+
+// checkRepairLedger audits a repair middlebox's custody accounting, the
+// in-run half of the repair-ledger rule: resequencing may delay packets
+// but must conserve them through the box, so releases can never outrun
+// holds and the live custody count must close the ledger exactly. The
+// end-of-run half (no packet held past the horizon) lives in Finish.
+func (w *linkWatch) checkRepairLedger() {
+	st := w.l.Stats()
+	if st.RepairReleased > st.RepairHeld {
+		w.c.violatef(w.l.String(), "repair-ledger",
+			"middlebox released %d packets but only held %d", st.RepairReleased, st.RepairHeld)
+	}
+	if held := w.l.RepairHeldNow(); uint64(held) != st.RepairHeld-st.RepairReleased {
+		w.c.violatef(w.l.String(), "repair-ledger",
+			"middlebox custody count %d != held %d - released %d", held, st.RepairHeld, st.RepairReleased)
 	}
 }
 
@@ -276,6 +302,9 @@ func (w *linkWatch) check() {
 	}
 	if st.ReorderHeld != 0 || st.ReorderReleased != 0 {
 		w.checkReorderLedger()
+	}
+	if st.RepairHeld != 0 || st.RepairReleased != 0 {
+		w.checkRepairLedger()
 	}
 }
 

@@ -153,6 +153,15 @@ func InstrumentLink(sp *Sampler, reg *Registry, l *netem.Link, prefix string) {
 			reg.GaugeFunc(prefix+".reorder_delayed", func() float64 { return float64(l.Stats().ReorderDelayed) })
 			reg.GaugeFunc(prefix+".reorder_in_custody", func() float64 { return float64(l.ReorderHeldNow()) })
 		}
+		if b := l.Repair(); b != nil {
+			reg.GaugeFunc(prefix+".repair_held", func() float64 { return float64(l.Stats().RepairHeld) })
+			reg.GaugeFunc(prefix+".repair_released", func() float64 { return float64(l.Stats().RepairReleased) })
+			reg.GaugeFunc(prefix+".repair_dropped", func() float64 { return float64(l.Stats().RepairDropped) })
+			reg.GaugeFunc(prefix+".repair_in_custody", func() float64 { return float64(l.RepairHeldNow()) })
+			reg.GaugeFunc(prefix+".repair_flows", func() float64 { return float64(b.FlowCount()) })
+			reg.GaugeFunc(prefix+".repair_timed_out", func() float64 { return float64(b.Stats().TimedOut) })
+			reg.GaugeFunc(prefix+".repair_hold_ms", func() float64 { return durMillis(b.Stats().HoldTime) })
+		}
 		if r := l.RED(); r != nil {
 			reg.GaugeFunc(prefix+".red_early_drops", func() float64 { return float64(r.EarlyDrops) })
 		}

@@ -45,6 +45,15 @@ type LinkStats struct {
 	// the reorder model pushed past their nominal arrival (striping
 	// detours, batch spacing) without taking custody.
 	ReorderDelayed uint64
+	// RepairHeld is the number of packets the repair middlebox took
+	// custody of (SetRepair); RepairReleased the number it handed back
+	// (gap filled, hold timeout, eviction, or Flush). Held − Released is
+	// the box's live custody count, audited by the invariant checker's
+	// repair-ledger rule. RepairDropped counts would-hold packets the box
+	// dropped under cap pressure (RepairDrop overflow policy).
+	RepairHeld     uint64
+	RepairReleased uint64
+	RepairDropped  uint64
 	// Dequeued is the number of packets whose serialization completed,
 	// freeing their queue slot.
 	Dequeued uint64
@@ -67,7 +76,7 @@ func (s LinkStats) DropRate() float64 {
 	if offered == 0 {
 		return 0
 	}
-	lost := s.Dropped + s.REDDropped + s.RandomDropped + s.BlackoutDropped + s.Corrupted + s.HostDownDropped
+	lost := s.Dropped + s.REDDropped + s.RandomDropped + s.BlackoutDropped + s.Corrupted + s.HostDownDropped + s.RepairDropped
 	return float64(lost) / float64(offered)
 }
 
@@ -118,6 +127,7 @@ type Link struct {
 	impair  Impairment
 	reorder ReorderModel
 	heldNow int
+	repair  *RepairBox
 	red     *RED
 
 	// OnDrop, if non-nil, is invoked for every packet lost on this link
@@ -256,6 +266,34 @@ func (l *Link) SetReorderModel(m ReorderModel) {
 // ReorderModel returns the installed reordering process, or nil.
 func (l *Link) ReorderModel() ReorderModel { return l.reorder }
 
+// SetRepair installs (or, with nil, removes) a reorder-repair middlebox
+// at the far end of the link: it intercepts delivery after corruption
+// and host-fault checks, so it sits downstream of any reordering element
+// — the "repair box at the reorder point" placement. Swapping boxes
+// while the old one holds packets would strand them, so it panics;
+// install between drained runs or Flush first.
+func (l *Link) SetRepair(b *RepairBox) {
+	if l.repair != nil && l.repair.heldNow > 0 {
+		panic(fmt.Sprintf("netem: cannot swap repair box on %s while %d packets are held", l, l.repair.heldNow))
+	}
+	l.repair = b
+	if b != nil {
+		b.bind(l)
+	}
+}
+
+// Repair returns the installed reorder-repair middlebox, or nil.
+func (l *Link) Repair() *RepairBox { return l.repair }
+
+// RepairHeldNow returns how many packets the repair middlebox currently
+// holds in custody, or 0 when no box is attached.
+func (l *Link) RepairHeldNow() int {
+	if l.repair == nil {
+		return 0
+	}
+	return l.repair.heldNow
+}
+
 // ReorderHeldNow returns how many packets the reorder model currently
 // holds in custody (accepted, serialized, but not yet released for
 // delivery).
@@ -375,6 +413,7 @@ func (l *Link) Enqueue(p *Packet) bool {
 	}
 
 	now := l.sched.Now()
+	p.enqueuedAt = now
 	start := l.busyUntil
 	if start < now {
 		start = now
@@ -499,6 +538,21 @@ func (l *Link) deliver(p *Packet) {
 		l.recycle(p)
 		return
 	}
+	// The repair middlebox, if any, may consume the packet here: take
+	// custody of it, deliver it (plus a repaired run) itself, or drop it
+	// under cap pressure. A nil box costs one branch, keeping detached
+	// forwarding at 0 allocs/op.
+	if l.repair != nil && l.repair.offer(p) {
+		return
+	}
+	l.finishDeliver(p)
+}
+
+// finishDeliver is the unconditional tail of delivery: counters,
+// observer/hook notifications, and the hand-off to the downstream node.
+// The repair middlebox releases held packets through it directly, so a
+// repaired packet is delivered exactly once and never re-intercepted.
+func (l *Link) finishDeliver(p *Packet) {
 	l.stats.Delivered++
 	l.stats.Bytes += uint64(p.Size)
 	if l.obs != nil {

@@ -30,6 +30,10 @@ const (
 	// down, or destroyed on delivery when the host died while the packet
 	// was queued or in flight (LinkStats.HostDownDropped).
 	DropHostDown
+	// DropRepairOverflow is a kill by a reorder-repair middlebox whose
+	// buffer caps were exhausted under the RepairDrop overflow policy
+	// (LinkStats.RepairDropped).
+	DropRepairOverflow
 )
 
 // String returns the cause's stable label, used as a span attribute and in
@@ -50,6 +54,8 @@ func (c DropCause) String() string {
 		return "corrupt"
 	case DropHostDown:
 		return "host_down"
+	case DropRepairOverflow:
+		return "repair-overflow"
 	}
 	return "unknown"
 }

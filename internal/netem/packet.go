@@ -44,6 +44,13 @@ type Packet struct {
 	// SentAt records when the packet entered the network (set by
 	// Network.Send); used for tracing and reorder metrics.
 	SentAt sim.Time
+	// enqueuedAt records when the current (most recent) link accepted the
+	// packet into its output queue. The delivery event is scheduled at
+	// that same moment, so this is the packet's insertion rank among
+	// same-timestamp deliveries — the tie-break a sequential scheduler
+	// applies implicitly and psim's cross-shard exchange must reproduce
+	// explicitly.
+	enqueuedAt sim.Time
 	// Hops counts links traversed so far, for path-length statistics.
 	Hops int
 	// corrupt marks a packet whose checksum the current link broke; it is
@@ -61,6 +68,10 @@ type Packet struct {
 // copy instead of sharing recycled storage with the original (whose
 // arrival may recycle the box while the duplicate is still in flight).
 type payloadCloner interface{ ClonePayload() any }
+
+// EnqueuedAt returns when the packet's current link accepted it into the
+// output queue — the moment its delivery event was scheduled.
+func (p *Packet) EnqueuedAt() sim.Time { return p.enqueuedAt }
 
 // NextLink returns the next link on the packet's source route, or nil if
 // the route is exhausted (the packet is at its destination).

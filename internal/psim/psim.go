@@ -24,18 +24,28 @@
 //
 // A run is reproducible for a fixed (seed, shard count): each shard's
 // event loop is single-threaded and deterministic, and the barrier
-// injects messages in a canonical order — sorted by (timestamp, source
-// shard, emission order) — so same-timestamp arrivals tie-break
-// identically on every run. A single-shard run is byte-for-byte the
-// sequential simulation: no cuts, no portals, one scheduler, and the
-// windowed RunUntil sweep executes exactly the event sequence a plain Run
-// would. Across different shard counts the engine guarantees matching
-// traffic, not matching event interleavings: same-timestamp events on the
-// two sides of a cut may order differently than in the sequential run, so
-// metrics can drift within tie-breaking tolerance. Workloads keep their
-// stochastic draws shard-independent by seeding every flow-level RNG from
-// sim.SplitSeed(seed, globalFlowIndex) — never from anything
-// shard-relative.
+// injects messages in a canonical order — sorted by (timestamp, cut-link
+// enqueue time, source shard, emission order) — so same-timestamp
+// arrivals tie-break identically on every run. A single-shard run is
+// byte-for-byte the sequential simulation: no cuts, no portals, one
+// scheduler, and the windowed RunUntil sweep executes exactly the event
+// sequence a plain Run would. Across shard counts the engine preserves
+// per-flow dynamics, not just aggregate traffic: the enqueue-time sort
+// key replicates the sequential scheduler's implicit insertion-order
+// tie-break for same-timestamp arrivals (a link schedules a delivery
+// when it accepts the packet), so cross-boundary packets contend for
+// entry-node queues in the same order the 1-shard run resolves them —
+// even on a perfectly symmetric topology where such timestamp
+// collisions are systematic. The residual ambiguity falls back to the
+// (source shard, emission order) tail: a cut-link enqueue tying another
+// at the same instant, or a cross arrival tying an event whose
+// scheduler insertion happened mid-window on the destination shard —
+// information no barrier exchange can carry. The conformance tests pin
+// exact per-flow stat equality across shard counts for the default
+// (symmetric) city workload, where the residual cases do not arise.
+// Workloads keep their stochastic draws shard-independent by
+// seeding every flow-level RNG from sim.SplitSeed(seed,
+// globalFlowIndex) — never from anything shard-relative.
 package psim
 
 import (
@@ -71,6 +81,7 @@ type Shard struct {
 // destination shard.
 type message struct {
 	at       sim.Time
+	enq      sim.Time // when the cut link accepted the packet (see exchange)
 	flow     int
 	size     int
 	payload  any
@@ -196,6 +207,7 @@ func (e *Engine) Route(flowID int, names ...string) routing.Router {
 		c.portal.Handle(flowID, func(p *netem.Packet) {
 			src.outbox = append(src.outbox, &message{
 				at:       src.Sched.Now() + delay,
+				enq:      p.EnqueuedAt(),
 				flow:     m.flow,
 				size:     p.Size,
 				payload:  p.Payload,
@@ -299,9 +311,16 @@ func (sh *Shard) runWindow(end sim.Time) {
 }
 
 // exchange routes every shard's outbox to the destination inboxes in
-// canonical order: (arrival time, source shard, emission order). The sort
-// pins the tie-break for same-timestamp arrivals from different shards,
-// which is what makes an N-shard run reproducible.
+// canonical order: (arrival time, cut-link enqueue time, source shard,
+// emission order). The enqueue-time key replicates the sequential
+// scheduler's implicit tie-break: a link schedules a packet's delivery
+// event at the moment it accepts the packet, so when two cross-boundary
+// packets from different shards arrive at the same instant, the
+// sequential run executes first whichever was enqueued on its cut link
+// first. Sorting arrivals the same way keeps same-timestamp queue
+// contention at the entry node identical to the 1-shard run; the
+// (source shard, emission order) tail pins reproducibility for the
+// residual case of ties in the enqueue times themselves.
 func (e *Engine) exchange() {
 	for _, sh := range e.shards {
 		for _, m := range sh.outbox {
@@ -314,6 +333,9 @@ func (e *Engine) exchange() {
 		sort.SliceStable(in, func(i, j int) bool {
 			if in[i].at != in[j].at {
 				return in[i].at < in[j].at
+			}
+			if in[i].enq != in[j].enq {
+				return in[i].enq < in[j].enq
 			}
 			if in[i].srcShard != in[j].srcShard {
 				return in[i].srcShard < in[j].srcShard

@@ -49,6 +49,10 @@ func writeTSVLine(w io.Writer, e Event) error {
 		}
 	case Fault:
 		detail = e.Note
+	case Repair:
+		if e.A > 0 {
+			detail = fmt.Sprintf("%s held=%.6f", e.Note, e.A)
+		}
 	}
 	_, err := fmt.Fprintf(w, "%.6f\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
 		time.Duration(e.At).Seconds(), e.Kind, e.Trace, e.Parent,

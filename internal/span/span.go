@@ -70,6 +70,10 @@ const (
 	// Abort: the flow entered the terminal aborted state (or crossed the
 	// R1 notify threshold); Note is the abort reason or "r1-notify".
 	Abort
+	// Repair: a reorder-repair middlebox acted on the packet; Note is the
+	// action ("hold", "release", "timeout", "evict", "flush") and A the
+	// custody duration in seconds (0 for hold).
+	Repair
 )
 
 func (k Kind) String() string {
@@ -100,6 +104,8 @@ func (k Kind) String() string {
 		return "mark"
 	case Abort:
 		return "abort"
+	case Repair:
+		return "repair"
 	}
 	return "?"
 }
@@ -289,6 +295,7 @@ func (c *Collector) FaultApplied(at sim.Time, link, note string) {
 // --- netem.Observer ---
 
 var _ netem.Observer = (*Collector)(nil)
+var _ netem.RepairObserver = (*Collector)(nil)
 
 // PacketSent implements netem.Observer. For data segments it also
 // maintains the retransmit chain: a retransmission's packet (and event)
@@ -358,6 +365,17 @@ func (c *Collector) PacketDuplicated(l *netem.Link, orig, dup *netem.Packet, txE
 		At: c.sched.Now(), Kind: Dup, Flow: int32(dup.Flow), Size: int32(dup.Size),
 		Seq: seqOf(dup), Retx: retxOf(dup), Trace: dup.Trace, Parent: dup.Parent,
 		TxEnd: txEnd, Arrive: arrive, Link: l.String(),
+	})
+}
+
+// PacketRepair implements netem.RepairObserver: one event per middlebox
+// custody transition, with the action label in Note and the custody
+// duration (seconds, 0 for holds) in A.
+func (c *Collector) PacketRepair(l *netem.Link, p *netem.Packet, action netem.RepairAction, heldFor sim.Time) {
+	c.push(Event{
+		At: c.sched.Now(), Kind: Repair, Flow: int32(p.Flow), Size: int32(p.Size),
+		Seq: seqOf(p), Retx: retxOf(p), Trace: p.Trace, Parent: p.Parent,
+		A: time.Duration(heldFor).Seconds(), Link: l.String(), Note: action.String(),
 	})
 }
 

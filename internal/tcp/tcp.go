@@ -33,6 +33,12 @@ type Seg struct {
 	Stamp sim.Time
 }
 
+// RepairSeq implements netem.SequencedPayload: an in-network
+// reorder-repair middlebox resequences data segments by Seq. Declared on
+// the value receiver so both Seg and the pooled *Seg payload boxes
+// satisfy the interface.
+func (s Seg) RepairSeq() int64 { return s.Seq }
+
 // SackBlock is a half-open received-sequence interval [Start, End).
 type SackBlock struct {
 	Start, End int64

@@ -23,9 +23,18 @@ type CityConfig struct {
 
 	BackboneBW    int64
 	BackboneDelay time.Duration
-	AccessBW      int64
-	AccessDelay   time.Duration
-	Queue         int
+	// BackboneSkew, when non-zero, adds d×BackboneSkew to ring pair d's
+	// propagation delay (both directions), breaking the ring's perfect
+	// symmetry — real backbones are heterogeneous, and equal delays are
+	// the worst case for a sharded run (arrivals from different
+	// neighbour shards systematically collide on identical timestamps,
+	// riding entirely on psim's exchange tie-break). The minimum ring
+	// delay — psim's lookahead — is unchanged: pair 0 keeps the base
+	// delay.
+	BackboneSkew time.Duration
+	AccessBW     int64
+	AccessDelay  time.Duration
+	Queue        int
 }
 
 func (c *CityConfig) fill() {
@@ -77,7 +86,8 @@ func NewCity(cfg CityConfig) Blueprint {
 		bp.AddDuplex(CityRouter(0), CityRouter(1), cfg.BackboneBW, cfg.BackboneDelay, cfg.Queue)
 	case cfg.Districts > 2:
 		for d := 0; d < cfg.Districts; d++ {
-			bp.AddDuplex(CityRouter(d), CityRouter((d+1)%cfg.Districts), cfg.BackboneBW, cfg.BackboneDelay, cfg.Queue)
+			delay := cfg.BackboneDelay + time.Duration(d)*cfg.BackboneSkew
+			bp.AddDuplex(CityRouter(d), CityRouter((d+1)%cfg.Districts), cfg.BackboneBW, delay, cfg.Queue)
 		}
 	}
 	return bp

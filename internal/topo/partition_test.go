@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -146,4 +147,40 @@ func TestPartitionRejectsMoreShardsThanDistricts(t *testing.T) {
 		}
 	}()
 	PartitionBlueprint(bp, 3, 0)
+}
+
+// TestCityBackboneSkew: ring pair d gets BackboneDelay + d×BackboneSkew
+// on both directions, access links are untouched, and — because pair 0
+// keeps the base delay — a partition's lookahead window is unchanged by
+// the skew.
+func TestCityBackboneSkew(t *testing.T) {
+	base, skew := 5*time.Millisecond, 100*time.Microsecond
+	cfg := CityConfig{Districts: 4, HostsPerDistrict: 2, BackboneDelay: base, BackboneSkew: skew}
+	bp := NewCity(cfg)
+	pairs := 0
+	for _, l := range bp.Links {
+		var a, b int
+		if n, _ := fmt.Sscanf(l.From+" "+l.To, "r%d r%d", &a, &b); n == 2 {
+			d := a // AddDuplex emits the forward direction first, from router d
+			if b == (a+1)%cfg.Districts {
+				pairs++
+			} else {
+				d = b
+			}
+			if want := base + time.Duration(d)*skew; l.Delay != want {
+				t.Errorf("backbone %s->%s delay %v, want %v", l.From, l.To, l.Delay, want)
+			}
+			continue
+		}
+		if l.Delay != time.Millisecond {
+			t.Errorf("access %s->%s delay %v, want default 1ms", l.From, l.To, l.Delay)
+		}
+	}
+	if pairs != cfg.Districts {
+		t.Fatalf("found %d forward ring links, want %d", pairs, cfg.Districts)
+	}
+	part := PartitionBlueprint(bp, 4, 1)
+	if la := part.Lookahead(); la != base {
+		t.Errorf("skewed ring lookahead %v, want base delay %v", la, base)
+	}
 }

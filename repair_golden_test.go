@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tcppr/internal/invariant"
+	"tcppr/internal/metrics"
+	"tcppr/internal/netem"
+	"tcppr/internal/routing"
+	"tcppr/internal/sim"
+	"tcppr/internal/tcp"
+	"tcppr/internal/topo"
+	"tcppr/internal/trace"
+	"tcppr/internal/workload"
+)
+
+// repairGoldenVariants are the corpus rows: the paper's protagonist plus
+// the two dupack-threshold baselines the repair box visibly rescues.
+var repairGoldenVariants = []string{workload.TCPPR, workload.NewReno, workload.TCPSACK}
+
+// repairGoldenScenario runs the canonical middlebox regression scenario:
+// a finite 150-segment transfer over the dumbbell with the severe
+// swap-distance model scrambling the bottleneck, with or without a
+// default repair box resequencing deliveries. Everything is seeded and
+// the box is deterministic, so the packet trace is a pure function of
+// (box, variant). The invariant oracle rides along (including the
+// repair-ledger rule, closed by the end-of-run Flush).
+func repairGoldenScenario(t *testing.T, boxName, variant string) []byte {
+	t.Helper()
+	sched := sim.NewScheduler()
+	d := topo.NewDumbbell(sched, topo.DumbbellConfig{Hosts: 1})
+
+	rc, err := netem.ReorderScenarioByName("swap-high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Bottleneck.SetReorderModel(rc.New(sim.NewRand(sim.SplitSeed(77, 1))))
+	rsc, err := netem.RepairScenarioByName(boxName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := rsc.New()
+	if box != nil {
+		d.Bottleneck.SetRepair(box)
+	}
+
+	f := tcp.NewFlow(d.Net, 1, d.Src(0), d.Dst(0),
+		routing.Static{Path: d.FwdPath(0)}, routing.Static{Path: d.RevPath(0)})
+	rec := trace.NewRecorder()
+	rec.Attach(f)
+	workload.NewFlow(f, variant, workload.PRParams{MaxDataPkts: 150}, 0)
+
+	c := invariant.New(sched)
+	c.AttachNetwork(d.Net)
+	c.AttachFlow(f, variant)
+
+	sched.RunUntil(sim.Time(30 * time.Second))
+	if box != nil {
+		box.Flush()
+	}
+	c.Finish()
+	if err := c.Err(); err != nil {
+		t.Fatalf("repair golden scenario %s/%s violates invariants: %v", boxName, variant, err)
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# golden trace: box=%s variant=%s topo=dumbbell reorder=swap-high seed=77 max_data=150\n",
+		boxName, variant)
+	fmt.Fprintf(&buf, "# columns: time\tkind\tseq\tcum\tretx\n")
+	if err := rec.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func repairGoldenPath(boxName, variant string) string {
+	return filepath.Join("results", "golden",
+		"repair_"+metrics.SanitizeName(boxName)+"_"+metrics.SanitizeName(variant)+".tsv")
+}
+
+// TestRepairGoldenTraces locks the packet-level behaviour of the repair
+// middlebox (and the box-free baseline under the same scrambled
+// bottleneck) to the corpus under results/golden/. Any change to the
+// box's resequencing decisions, the reorder model's stream, or the
+// senders shows up as a trace diff; run with -update to bless an
+// intentional change.
+func TestRepairGoldenTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs one full transfer per (box, variant) cell; skipped in -short mode")
+	}
+	for _, boxName := range []string{"none", "repair"} {
+		for _, variant := range repairGoldenVariants {
+			boxName, variant := boxName, variant
+			t.Run(boxName+"/"+metrics.SanitizeName(variant), func(t *testing.T) {
+				t.Parallel()
+				got := repairGoldenScenario(t, boxName, variant)
+				path := repairGoldenPath(boxName, variant)
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden trace (run `go test -run TestRepairGoldenTraces -update .` to create): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("trace for %s/%s diverged from %s (%d bytes now vs %d golden); "+
+						"if the change is intentional, re-bless with -update",
+						boxName, variant, path, len(got), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestRepairGoldenTracesDeterministic guards the property the corpus
+// depends on: the same (box, variant) cell run twice in one process
+// yields byte-identical traces — the middlebox adds no hidden
+// nondeterminism.
+func TestRepairGoldenTracesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full transfers; skipped in -short mode")
+	}
+	a := repairGoldenScenario(t, "repair", workload.NewReno)
+	b := repairGoldenScenario(t, "repair", workload.NewReno)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed repair scenario produced different traces")
+	}
+}
