@@ -5,7 +5,8 @@
 //	experiments [-run name] [-fig n] [-list] [-quick] [-csv dir]
 //	            [-metrics dir] [-trace dir] [-flight-recorder]
 //	            [-parallel n] [-seed n] [-shards n] [-repair name] [-check]
-//	            [-fuzz n] [-fuzz-seed n]
+//	            [-fuzz n] [-fuzz-seed n] [-progress]
+//	            [-heartbeat d] [-engine-profile] [-watchdog-timeout d]
 //	            [-cpuprofile file] [-memprofile file]
 //
 // Every experiment is a registered experiments.Spec; -list prints the
@@ -33,6 +34,16 @@
 // instead of its default {none, repair, repair-tight} sweep. Other
 // experiments ignore them.
 //
+// -progress prints one start and one done line per simulation cell of the
+// parallel sweeps to stderr — a long -parallel run stops looking hung.
+// -heartbeat, -engine-profile, and -watchdog-timeout arm the
+// internal/engineobs telemetry stack on the experiments driving the
+// parallel engine (currently -run city): live progress beats (text on
+// stderr, JSON lines in -metrics), per-shard window profiles with a
+// load-imbalance summary and Perfetto shard lanes (in -metrics), and a
+// stall watchdog that aborts a wedged cell with diagnostics instead of
+// hanging CI.
+//
 // -check attaches the internal/invariant conformance oracle to every
 // simulation cell; any violation fails the run with a nonzero exit.
 // -fuzz N runs N randomized invariant-checked scenarios (topology ×
@@ -51,6 +62,7 @@ import (
 	"strings"
 	"time"
 
+	"tcppr/internal/engineobs"
 	"tcppr/internal/experiments"
 	"tcppr/internal/invariant/fuzzer"
 	"tcppr/internal/profiling"
@@ -72,8 +84,51 @@ func main() {
 	fuzzSeed := flag.Int64("fuzz-seed", 0, "replay one fuzz scenario by seed and report its violations")
 	traceDir := flag.String("trace", "", "directory to write per-cell Perfetto traces + span TSVs into (faultmatrix)")
 	flightRec := flag.Bool("flight-recorder", false, "arm the flight recorder: violations dump causal trails (with -trace or -fuzz/-fuzz-seed)")
+	heartbeat := flag.Duration("heartbeat", 0, "emit live engine heartbeats at this wall-clock interval (city; JSONL lands in -metrics)")
+	engineProfile := flag.Bool("engine-profile", false, "write per-shard window profiles + Perfetto shard lanes into -metrics (city)")
+	watchdogTimeout := flag.Duration("watchdog-timeout", 0, "abort a cell with diagnostics after this long without progress (0 disables)")
+	progress := flag.Bool("progress", false, "print per-cell start/done lines for parallel sweeps to stderr")
 	prof := profiling.Register()
 	flag.Parse()
+
+	// Validate the whole flag set up front, reporting every problem at
+	// once (the tcpsim pattern): a bad invocation dies with a usage error
+	// here, not a panic halfway into an hour-long sweep.
+	var bad []string
+	reject := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	if *parallel < 0 {
+		reject("-parallel cannot be negative, got %d", *parallel)
+	}
+	if *shards < 0 {
+		reject("-shards cannot be negative, got %d", *shards)
+	}
+	if *fuzz < 0 {
+		reject("-fuzz cannot be negative, got %d", *fuzz)
+	}
+	if *heartbeat < 0 {
+		reject("-heartbeat cannot be negative, got %v", *heartbeat)
+	}
+	if *watchdogTimeout < 0 {
+		reject("-watchdog-timeout cannot be negative, got %v", *watchdogTimeout)
+	}
+	if *engineProfile && *metricsDir == "" {
+		reject("-engine-profile needs -metrics for somewhere to write the profiles")
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "csv", "metrics", "trace":
+			if f.Value.String() == "" {
+				reject("-%s was set to an empty path; pass a real directory or drop the flag", f.Name)
+			}
+		}
+	})
+	if len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, "experiments:", msg)
+		}
+		fmt.Fprintln(os.Stderr, "usage: see experiments -h")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, s := range experiments.Registry() {
@@ -95,8 +150,25 @@ func main() {
 		*runName = fmt.Sprintf("fig%d", *fig)
 	}
 	experiments.SetParallelism(*parallel)
+	if *progress {
+		// One sink shared by every worker goroutine; SyncWriter keeps the
+		// lines whole under -parallel.
+		pw := engineobs.NewSyncWriter(os.Stderr)
+		experiments.SetProgress(func(format string, args ...any) {
+			fmt.Fprintf(pw, "experiments: "+format+"\n", args...)
+		})
+	}
 
 	cfg := experiments.RunConfig{Seed: *seed, Shards: *shards, Repair: *repair, CheckInvariants: *check}
+	if *heartbeat > 0 || *engineProfile || *watchdogTimeout > 0 {
+		cfg.Engine = &experiments.EngineOptions{
+			Profile:         *engineProfile,
+			Heartbeat:       *heartbeat,
+			WatchdogTimeout: *watchdogTimeout,
+			Dir:             *metricsDir,
+			Text:            os.Stderr,
+		}
+	}
 	if *quick {
 		cfg.Durations = experiments.Quick
 	}

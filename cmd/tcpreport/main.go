@@ -1,0 +1,91 @@
+// Command tcpreport diffs two simulation runs and fails on regressions.
+//
+//	tcpreport [flags] OLD NEW
+//
+// OLD and NEW are either two BENCH_sim.json artifacts (internal/bench) or
+// two metrics run manifests (internal/metrics); the kind is auto-detected
+// and must match. The diff prints one row per compared metric and the
+// process exits 1 when any gated row worsened past its threshold — the CI
+// bench job runs it against the committed BENCH_sim.json so an
+// allocation regression fails the build.
+//
+// Gates (each in percent of allowed worsening; negative disables):
+//
+//	-max-allocs-pct  allocs/op increase             (default 0: strict)
+//	-max-ns-pct      ns/op increase                 (default off: noisy)
+//	-max-rate-pct    sim-s/wall-s + events/s drop   (default off)
+//	-max-goodput-pct delivered-bytes counter drop   (default off)
+//	-gate name=pct   per-metric manifest override   (repeatable)
+//
+// Allocs/op rows are gated only when both artifacts record the same Go
+// version — alloc counts are deterministic within a version, not across.
+//
+// Exit status: 0 clean, 1 regressions (or unreadable inputs), 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tcppr/internal/engineobs"
+)
+
+func main() {
+	th := engineobs.DisabledThresholds()
+	th.AllocsPct = 0
+	flag.Float64Var(&th.AllocsPct, "max-allocs-pct", th.AllocsPct,
+		"allowed allocs/op increase in percent (negative disables)")
+	flag.Float64Var(&th.NsPct, "max-ns-pct", th.NsPct,
+		"allowed ns/op increase in percent (negative disables)")
+	flag.Float64Var(&th.RatePct, "max-rate-pct", th.RatePct,
+		"allowed sim-s/wall-s (and events/s) decrease in percent (negative disables)")
+	flag.Float64Var(&th.GoodputPct, "max-goodput-pct", th.GoodputPct,
+		"allowed goodput/delivered-bytes decrease in percent (negative disables)")
+	asJSON := flag.Bool("json", false, "emit the diff as JSON instead of a table")
+	gates := map[string]float64{}
+	flag.Func("gate", "per-metric gate for manifest diffs, as name=pct (repeatable)", func(v string) error {
+		name, pct, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want name=pct, got %q", v)
+		}
+		f, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			return err
+		}
+		gates[name] = f
+		return nil
+	})
+	flag.Parse()
+	if len(gates) > 0 {
+		th.MetricPct = gates
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "tcpreport: want exactly two run files: tcpreport [flags] OLD NEW")
+		fmt.Fprintln(os.Stderr, "usage: see tcpreport -h")
+		os.Exit(2)
+	}
+
+	diff, err := engineobs.DiffFiles(flag.Arg(0), flag.Arg(1), th)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpreport:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diff); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpreport:", err)
+			os.Exit(1)
+		}
+	} else {
+		diff.WriteTable(os.Stdout)
+	}
+	if len(diff.Regressions()) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tcppr/internal/engineobs"
+	"tcppr/internal/metrics"
+	"tcppr/internal/sim"
+	"tcppr/internal/span"
+)
+
+// engineObsFlags carries the -heartbeat/-engine-profile/-watchdog-timeout
+// telemetry knobs into each topology runner.
+type engineObsFlags struct {
+	heartbeat time.Duration // 0: no heartbeat
+	watchdog  time.Duration // 0: no watchdog
+	profile   bool          // window profiler (city only, validated up front)
+	dir       string        // -metrics; heartbeat JSONL + profiles land here
+}
+
+func (eo engineObsFlags) enabled() bool {
+	return eo.heartbeat > 0 || eo.watchdog > 0 || eo.profile
+}
+
+// engineRun is one run's armed telemetry stack: the optional heartbeat
+// (with its JSONL sink), stall watchdog, and window profiler, plus the
+// artifact file names written so the manifest can list them.
+type engineRun struct {
+	name      string
+	dir       string
+	hb        *engineobs.Heartbeat
+	wd        *engineobs.Watchdog
+	prof      *engineobs.Profiler
+	jsonl     *os.File
+	artifacts []string
+}
+
+// armEngineObs builds the telemetry stack for a run named name over
+// scheds (one scheduler for sequential topologies, one per shard for the
+// city engine). A watchdog without a heartbeat still gets a quiet one —
+// the heartbeat's Beat is what feeds the watchdog's progress clock.
+// Returns nil (all methods nil-safe) when no telemetry was requested.
+func armEngineObs(eo engineObsFlags, name string, horizon time.Duration, flight *span.FlightRecorder, scheds ...*sim.Scheduler) *engineRun {
+	if !eo.enabled() {
+		return nil
+	}
+	r := &engineRun{name: metrics.SanitizeName(name), dir: eo.dir}
+	if eo.heartbeat > 0 || eo.watchdog > 0 {
+		cfg := engineobs.HeartbeatConfig{
+			Interval: eo.heartbeat,
+			Horizon:  sim.Time(horizon),
+			Label:    r.name,
+		}
+		if eo.heartbeat > 0 {
+			cfg.Text = os.Stderr
+			if eo.dir != "" {
+				if err := os.MkdirAll(eo.dir, 0o755); err != nil {
+					fatalErr(err)
+				}
+				jf := r.name + ".heartbeat.jsonl"
+				f, err := os.Create(filepath.Join(eo.dir, jf))
+				if err != nil {
+					fatalErr(err)
+				}
+				r.jsonl = f
+				cfg.JSONL = f
+				r.artifacts = append(r.artifacts, jf)
+			}
+		} else {
+			// Watchdog-only: beat silently at a fraction of the timeout so
+			// the progress clock and diagnostic snapshot stay fresh.
+			cfg.Interval = eo.watchdog / 2
+		}
+		r.hb = engineobs.NewHeartbeat(cfg, scheds...)
+	}
+	if eo.profile {
+		r.prof = engineobs.NewProfiler(len(scheds))
+	}
+	if eo.watchdog > 0 {
+		r.wd = engineobs.NewWatchdog(engineobs.WatchdogConfig{
+			Timeout:  eo.watchdog,
+			Diagnose: engineobs.Diagnostics(r.hb, r.prof),
+			Flight:   flight,
+		})
+		r.hb.SetWatchdog(r.wd)
+	}
+	return r
+}
+
+// startSequential arms the virtual-time heartbeat pulse on a sequential
+// run's scheduler and starts the watchdog. Nil-safe.
+func (r *engineRun) startSequential(sched *sim.Scheduler) {
+	if r == nil {
+		return
+	}
+	r.hb.Attach(sched, 0)
+	r.wd.Start()
+}
+
+// startEngine starts the watchdog for a parallel-engine run (the
+// heartbeat rides the engine's window observer instead of a timer).
+func (r *engineRun) startEngine() {
+	if r == nil {
+		return
+	}
+	r.wd.Start()
+}
+
+// finish stops the watchdog, emits the final heartbeat, writes the
+// profiler artifacts, and returns every artifact file name written (for
+// the manifest's Artifacts list). Nil-safe.
+func (r *engineRun) finish() []string {
+	if r == nil {
+		return nil
+	}
+	r.wd.Stop()
+	r.hb.Final()
+	if r.jsonl != nil {
+		if err := r.jsonl.Close(); err != nil {
+			fatalErr(err)
+		}
+	}
+	if r.prof != nil && r.dir != "" {
+		if err := os.MkdirAll(r.dir, 0o755); err != nil {
+			fatalErr(err)
+		}
+		tsv := r.name + ".engine.tsv"
+		sum := r.name + ".engine.json"
+		trc := r.name + ".engine.trace.json"
+		writeArtifactFile(filepath.Join(r.dir, tsv), r.prof.WriteTSV)
+		writeArtifactFile(filepath.Join(r.dir, sum), func(w io.Writer) error {
+			return r.prof.WriteSummaryJSON(w, 0)
+		})
+		writeArtifactFile(filepath.Join(r.dir, trc), r.prof.WriteChromeTrace)
+		r.artifacts = append(r.artifacts, tsv, sum, trc)
+		s := r.prof.Summary(0)
+		fmt.Printf("engine profile: %d windows (p50 %.3gms p99 %.3gms wall), busy-ratio %.2f events-ratio %.2f",
+			s.Windows, s.P50WindowSeconds*1e3, s.P99WindowSeconds*1e3, s.BusyRatio, s.EventsRatio)
+		if s.Straggler >= 0 {
+			fmt.Printf(" — straggler shard %d", s.Straggler)
+		}
+		fmt.Println()
+		fmt.Printf("engine profile: wrote %s, %s, %s\n",
+			filepath.Join(r.dir, tsv), filepath.Join(r.dir, sum), filepath.Join(r.dir, trc))
+	}
+	return r.artifacts
+}
+
+func writeArtifactFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalErr(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalErr(err)
+	}
+	if err := f.Close(); err != nil {
+		fatalErr(err)
+	}
+}

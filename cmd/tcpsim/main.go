@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"tcppr/internal/engineobs"
 	"tcppr/internal/faults"
 	"tcppr/internal/invariant"
 	"tcppr/internal/metrics"
@@ -77,6 +78,9 @@ func main() {
 	abortR2 := flag.Int("abort-r2", 0, "RFC 1122 R2: consecutive timeouts before aborting the connection (0 disables)")
 	abortUser := flag.Duration("abort-user-timeout", 0, "abort after this long without forward progress (0 disables)")
 	check := flag.Bool("check", false, "attach the invariant oracle; violations fail the run")
+	heartbeat := flag.Duration("heartbeat", 0, "emit live progress heartbeats at this wall-clock interval (0 disables; JSONL lands next to -metrics)")
+	engineProfile := flag.Bool("engine-profile", false, "write the psim window profiler's TSV/JSON + Perfetto shard lanes next to the metrics manifest (city topology, needs -metrics)")
+	watchdogTimeout := flag.Duration("watchdog-timeout", 0, "abort with diagnostics after this long without simulation progress (0 disables)")
 	traceJSON := flag.String("trace", "", "write a Perfetto-loadable Chrome trace (ui.perfetto.dev) to this file")
 	traceTSV := flag.String("trace-tsv", "", "write the hop-level span TSV to this file")
 	flightPath := flag.String("flight-recorder", "", "arm the flight recorder; dumps (violations, panics) go to this file")
@@ -178,6 +182,18 @@ func main() {
 	if (*faultName != "" || *hostFaultName != "") && !hasBottleneck {
 		reject("-faults/-host-faults support dumbbell|parkinglot only")
 	}
+	if *heartbeat < 0 {
+		reject("-heartbeat cannot be negative, got %v", *heartbeat)
+	}
+	if *watchdogTimeout < 0 {
+		reject("-watchdog-timeout cannot be negative, got %v", *watchdogTimeout)
+	}
+	if *engineProfile && *topology != "city" {
+		reject("-engine-profile profiles the parallel engine's barrier windows; it supports the city topology only")
+	}
+	if *engineProfile && *metricsDir == "" {
+		reject("-engine-profile needs -metrics for somewhere to write the profile")
+	}
 	// An output flag explicitly set to "" silently discards its artifact;
 	// catch the contradiction instead of running for nothing.
 	flag.Visit(func(f *flag.Flag) {
@@ -208,13 +224,17 @@ func main() {
 		reorder: *reorderName, jitter: *jitter, repair: *repairName,
 		abort: tcp.AbortConfig{R1: *abortR1, R2: *abortR2, UserTimeout: *abortUser},
 	}
+	eo := engineObsFlags{
+		heartbeat: *heartbeat, watchdog: *watchdogTimeout,
+		profile: *engineProfile, dir: *metricsDir,
+	}
 	switch *topology {
 	case "dumbbell", "parkinglot":
-		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, fi, *seed, *check, paths)
+		runShared(*topology, protos, *flows, pr, *warm, *duration, *metricsDir, fi, *seed, *check, paths, eo)
 	case "multipath":
-		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir, *check, paths)
+		runMultipath(protos, pr, *eps, *delay, *seed, *warm, *duration, *metricsDir, *check, paths, eo)
 	case "city":
-		runCity(*shards, *districts, *hosts, *sources, *duration, *seed, *check)
+		runCity(*shards, *districts, *hosts, *sources, *duration, *seed, *check, eo)
 	}
 
 	if err := stopProf(); err != nil {
@@ -247,7 +267,7 @@ type faultInject struct {
 	abort      tcp.AbortConfig
 }
 
-func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir string, fi faultInject, seed int64, check bool, paths tracePaths) {
+func runShared(topology string, protos []string, n int, pr workload.PRParams, warm, dur time.Duration, metricsDir string, fi faultInject, seed int64, check bool, paths tracePaths, eo engineObsFlags) {
 	sched := sim.NewScheduler()
 	var flowsOut []*workload.Flow
 	var bottlenecks []*netem.Link
@@ -339,6 +359,8 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 	tr := newTracer(paths.json, paths.tsv, paths.flight, sched, network, flowsOut)
 	defer tr.dumpOnPanic()
 	tr.armChecker(ck)
+	run := armEngineObs(eo, name, warm+dur, tr.flightRecorder(), sched)
+	run.startSequential(sched)
 
 	// Scripted faults: link scenarios hit the first bottleneck hop (both
 	// directions), host scenarios hit the first destination host. Both
@@ -395,22 +417,23 @@ func runShared(topology string, protos []string, n int, pr workload.PRParams, wa
 			}
 		}
 	}
+	ob.addArtifacts(run.finish())
 	ob.finish(topology, seed, map[string]float64{"flows": float64(n)}, warm+dur)
 	tr.finish()
 	finishChecker(ck)
 }
 
-func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string, check bool, paths tracePaths) {
+func runMultipath(protos []string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string, check bool, paths tracePaths, eo engineObsFlags) {
 	// One flow at a time per protocol, matching the paper's Fig 6 setup.
 	fmt.Printf("multipath: eps=%g delay=%v (one flow per protocol, separate runs)\n\n", eps, delay)
 	for _, proto := range protos {
-		runMultipathOne(proto, pr, eps, delay, seed, warm, dur, metricsDir, check, paths.suffixed(proto))
+		runMultipathOne(proto, pr, eps, delay, seed, warm, dur, metricsDir, check, paths.suffixed(proto), eo)
 	}
 }
 
 // runMultipathOne runs one protocol's multipath cell; its own function so
 // the tracer's panic hook covers exactly one simulation.
-func runMultipathOne(proto string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string, check bool, paths tracePaths) {
+func runMultipathOne(proto string, pr workload.PRParams, eps float64, delay time.Duration, seed int64, warm, dur time.Duration, metricsDir string, check bool, paths tracePaths, eo engineObsFlags) {
 	sched := sim.NewScheduler()
 	m := topo.NewMultipath(sched, 3, delay)
 	fwd := routing.NewEpsilon(m.FwdPaths, eps, sim.NewRand(sim.SplitSeed(seed, 1)))
@@ -423,19 +446,26 @@ func runMultipathOne(proto string, pr workload.PRParams, eps float64, delay time
 	tr := newTracer(paths.json, paths.tsv, paths.flight, sched, m.Net, []*workload.Flow{wf})
 	defer tr.dumpOnPanic()
 	tr.armChecker(ck)
+	run := armEngineObs(eo, "tcpsim_multipath_"+proto, warm+dur, tr.flightRecorder(), sched)
+	run.startSequential(sched)
 	wf.MarkWindow(sched, warm, warm+dur)
 	sched.RunUntil(warm + dur)
 	mbps := stats.Mbps(stats.Throughput(wf.WindowBytes(), dur))
 	fmt.Printf("%-10s %7.2f Mbps (retx %d of %d sent)\n", proto, mbps, f.DataRetx(), f.DataSent())
+	ob.addArtifacts(run.finish())
 	ob.finish("multipath", seed, map[string]float64{"eps": eps, "delay_ms": float64(delay.Milliseconds())}, warm+dur)
 	tr.finish()
 	finishChecker(ck)
 }
 
 // runCity drives the sharded parallel engine over the districts-of-web-
-// sources city workload and reports throughput of the run itself.
-func runCity(shards, districts, hosts, sources int, horizon time.Duration, seed int64, check bool) {
-	res := psim.RunCity(psim.CityRun{
+// sources city workload and reports throughput of the run itself. With
+// -engine-profile/-heartbeat/-watchdog-timeout set it arms the
+// internal/engineobs telemetry stack on the engine's barrier loop and
+// writes the artifacts (window-profile TSV/JSON, Perfetto shard lanes,
+// heartbeat JSONL) plus a run manifest into -metrics.
+func runCity(shards, districts, hosts, sources int, horizon time.Duration, seed int64, check bool, eo engineObsFlags) {
+	eng, st := psim.BuildCity(psim.CityRun{
 		City:            topo.CityConfig{Districts: districts, HostsPerDistrict: hosts},
 		Shards:          shards,
 		Seed:            seed,
@@ -443,6 +473,36 @@ func runCity(shards, districts, hosts, sources int, horizon time.Duration, seed 
 		SourcesPerHost:  sources,
 		CheckInvariants: check,
 	})
+	scheds := make([]*sim.Scheduler, 0, len(eng.Shards()))
+	for _, sh := range eng.Shards() {
+		scheds = append(scheds, sh.Sched)
+	}
+	run := armEngineObs(eo, "tcpsim_city", horizon, nil, scheds...)
+	if run != nil {
+		var parts []engineobs.EngineObserver
+		if run.prof != nil {
+			parts = append(parts, run.prof)
+		}
+		if run.hb != nil {
+			if len(scheds) > 1 {
+				// Multi-shard: the heartbeat beats at every barrier window.
+				parts = append(parts, run.hb)
+			} else {
+				// One shard runs the whole horizon as a single window, so
+				// the heartbeat pulses off a virtual timer instead.
+				run.hb.Attach(scheds[0], 0)
+			}
+		}
+		if obs := engineobs.Multi(parts...); obs != nil {
+			eng.SetObserver(obs)
+		}
+		run.startEngine()
+	}
+	t0 := time.Now()
+	eng.Run(sim.Time(horizon))
+	wall := time.Since(t0)
+	arts := run.finish()
+	res := st.Finish(wall)
 	fmt.Printf("city: %d districts x %d hosts x %d sources, %d shards (lookahead %v)\n",
 		districts, hosts, sources, res.Shards, res.Lookahead)
 	fmt.Printf("  flows started       %12d\n", res.Flows)
@@ -451,12 +511,47 @@ func runCity(shards, districts, hosts, sources int, horizon time.Duration, seed 
 	fmt.Printf("  events processed    %12d\n", res.Events)
 	fmt.Printf("  sim %0.2fs in wall %0.2fs = %0.2f sim-s/wall-s\n",
 		res.SimSeconds, res.WallSeconds, res.SimRate())
+	if eo.dir != "" {
+		writeCityManifest(eo.dir, res, districts, hosts, sources, seed, arts)
+	}
 	if check {
 		if res.Violations > 0 {
 			fatalErr(fmt.Errorf("invariants: %d violation(s)", res.Violations))
 		}
 		fmt.Println("invariants: ok (0 violations)")
 	}
+}
+
+// writeCityManifest records a city run the same way the sequential
+// observer does, so tcpreport can diff two city runs; arts lists the
+// telemetry files written next to it.
+func writeCityManifest(dir string, res psim.CityResult, districts, hosts, sources int, seed int64, arts []string) {
+	man := &metrics.Manifest{
+		Name:       "tcpsim_city",
+		Experiment: "tcpsim",
+		Topology:   "city",
+		Seed:       seed,
+		Params: map[string]float64{
+			"shards": float64(res.Shards), "districts": float64(districts),
+			"hosts": float64(hosts), "sources": float64(sources),
+		},
+		SimSeconds:      res.SimSeconds,
+		WallSeconds:     res.WallSeconds,
+		EventsProcessed: res.Events,
+		Counters: map[string]uint64{
+			"flows":          uint64(res.Flows),
+			"transfers":      uint64(res.Transfers),
+			"transfer_bytes": uint64(res.TransferBytes),
+			"bulk_bytes":     uint64(res.BulkBytes),
+		},
+		Artifacts: arts,
+	}
+	man.FillRates()
+	path := filepath.Join(dir, man.Name+".manifest.json")
+	if err := man.WriteFile(path); err != nil {
+		fatalErr(err)
+	}
+	fmt.Printf("metrics: wrote %s\n", path)
 }
 
 // newChecker attaches the conformance oracle to the run when -check is
@@ -496,13 +591,14 @@ func finishChecker(c *invariant.Checker) {
 // observer bundles one run's observability stack: a registry, a sampler
 // on the run's scheduler, and the output directory for series + manifest.
 type observer struct {
-	dir    string
-	name   string
-	sched  *sim.Scheduler
-	reg    *metrics.Registry
-	samp   *metrics.Sampler
-	start  time.Time
-	faults []string
+	dir       string
+	name      string
+	sched     *sim.Scheduler
+	reg       *metrics.Registry
+	samp      *metrics.Sampler
+	start     time.Time
+	faults    []string
+	artifacts []string
 }
 
 // newObserver returns nil (a no-op observer) when dir is empty.
@@ -528,6 +624,15 @@ func (o *observer) observe(flows []*workload.Flow, links []*netem.Link) {
 	for _, l := range links {
 		metrics.InstrumentLink(o.samp, o.reg, l, metrics.LinkPrefix(l))
 	}
+}
+
+// addArtifacts records companion files (heartbeat JSONL, engine
+// profiles) for the manifest's Artifacts list.
+func (o *observer) addArtifacts(names []string) {
+	if o == nil {
+		return
+	}
+	o.artifacts = append(o.artifacts, names...)
 }
 
 func (o *observer) finish(topology string, seed int64, params map[string]float64, simDur time.Duration) {
@@ -559,6 +664,7 @@ func (o *observer) finish(topology string, seed int64, params map[string]float64
 		SimSeconds:      simDur.Seconds(),
 		WallSeconds:     metrics.Wall(o.start),
 		EventsProcessed: o.sched.Processed(),
+		Artifacts:       o.artifacts,
 	}
 	man.FillRates()
 	man.AddSnapshot(o.reg.Snapshot())

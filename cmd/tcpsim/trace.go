@@ -49,6 +49,15 @@ func newTracer(jsonPath, tsvPath, flightPath string, sched *sim.Scheduler, net *
 	return tr
 }
 
+// flightRecorder exposes the armed recorder (nil without -flight-recorder)
+// so the stall watchdog can dump it.
+func (t *tracer) flightRecorder() *span.FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.fr
+}
+
 // armChecker makes invariant violations dump the implicated packet's
 // causal trail into the flight file.
 func (t *tracer) armChecker(ck *invariant.Checker) {

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"tcppr/internal/engineobs"
 	"tcppr/internal/invariant"
 	"tcppr/internal/metrics"
 	"tcppr/internal/routing"
@@ -27,7 +29,9 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden traces under r
 // variants' core concern), everything seeded, and returns the full packet
 // trace. The invariant oracle rides along so a behavioural regression that
 // also breaks conformance is reported as such rather than as a bare diff.
-func goldenScenario(t *testing.T, variant string) []byte {
+// Optional setup hooks run against the scheduler before the simulation
+// starts — the telemetry perturbation test attaches a heartbeat there.
+func goldenScenario(t *testing.T, variant string, setup ...func(*sim.Scheduler)) []byte {
 	t.Helper()
 	sched := sim.NewScheduler()
 	m := topo.NewMultipath(sched, 3, 10*time.Millisecond)
@@ -42,6 +46,10 @@ func goldenScenario(t *testing.T, variant string) []byte {
 	c := invariant.New(sched)
 	c.AttachNetwork(m.Net)
 	c.AttachFlow(f, variant)
+
+	for _, fn := range setup {
+		fn(sched)
+	}
 
 	sched.RunUntil(sim.Time(30 * time.Second))
 	c.Finish()
@@ -109,5 +117,33 @@ func TestGoldenTracesDeterministic(t *testing.T) {
 	b := goldenScenario(t, workload.TCPPR)
 	if !bytes.Equal(a, b) {
 		t.Fatal("same-seed scenario produced different traces")
+	}
+}
+
+// TestGoldenTracesUnperturbedByHeartbeat pins the sequential-engine
+// telemetry guarantee: attaching an engineobs heartbeat (the -heartbeat
+// flag's virtual pulse, beating every default 100ms of sim time) must
+// leave the packet trace byte-identical. The pulse rides the scheduler
+// queue but touches no packet, flow, or RNG state; any diff here means a
+// heartbeat changed simulation dynamics.
+func TestGoldenTracesUnperturbedByHeartbeat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full transfers; skipped in -short mode")
+	}
+	plain := goldenScenario(t, workload.TCPPR)
+	var hb *engineobs.Heartbeat
+	observed := goldenScenario(t, workload.TCPPR, func(sched *sim.Scheduler) {
+		hb = engineobs.NewHeartbeat(engineobs.HeartbeatConfig{
+			Interval: time.Nanosecond, // emit on every pulse
+			Text:     io.Discard,
+			JSONL:    io.Discard,
+		}, sched)
+		hb.Attach(sched, 0)
+	})
+	if !bytes.Equal(plain, observed) {
+		t.Error("heartbeat perturbed the golden trace")
+	}
+	if hb.Beats() == 0 {
+		t.Error("heartbeat never emitted; the perturbation check proved nothing")
 	}
 }

@@ -39,6 +39,21 @@ func TestSpanDetachedZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestEngineObsDetachedZeroAllocs is the engine-telemetry counterpart of
+// the span gate: a quiet heartbeat pulse (pooled timer, off-interval
+// beats) must leave the per-packet forwarding path at exactly 0
+// allocs/op, so attaching a watchdog or heartbeat never taxes the event
+// hot path.
+func TestEngineObsDetachedZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate in -short mode")
+	}
+	r := testing.Benchmark(benchEngineObsQuietHeartbeat)
+	if got := r.AllocsPerOp(); got != 0 {
+		t.Fatalf("forwarding under a quiet heartbeat allocates %d allocs/op, want 0", got)
+	}
+}
+
 func TestRegressions(t *testing.T) {
 	art := Artifact{
 		Baseline: []Measurement{{Name: "x", AllocsPerOp: 10}},

@@ -1,0 +1,100 @@
+// Package engineobs is the wall-clock telemetry layer for both simulation
+// engines: it answers "where did the real time go?" where internal/metrics
+// answers "what were the aggregates?" and internal/span answers "what
+// happened to this packet?".
+//
+// Three cooperating pieces:
+//
+//   - Profiler: per-shard, per-window timing of the psim barrier loop
+//     (event execution vs barrier wait vs exchange, events and outbox
+//     sizes per window), aggregated into straggler/load-imbalance
+//     summaries and exported as TSV, JSON, and Perfetto shard lanes.
+//   - Heartbeat: a periodic live progress reporter (sim time, events/sec,
+//     sim-s per wall-s, per-shard lag, memory deltas, ETA to the horizon)
+//     as human-readable lines and a JSON-lines file.
+//   - Watchdog: a no-progress detector that dumps a diagnostic bundle
+//     (per-shard scheduler state, last window profile, optional flight
+//     recorder snapshot) and aborts instead of hanging CI.
+//
+// Profiler and Heartbeat implement psim's EngineObserver structurally —
+// this package never imports psim, so psim stays free of telemetry
+// dependencies; the CLIs wire the two together. On the sequential engine
+// a Heartbeat attaches through a self-rearming virtual timer instead
+// (Heartbeat.Attach), which provably does not perturb packet dynamics.
+// Detached, all of it costs zero allocations on the event hot path: the
+// engine's nil-observer check is the only residue.
+package engineobs
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"tcppr/internal/sim"
+)
+
+// EngineObserver mirrors psim.EngineObserver structurally (the psim
+// engine accepts any implementation with these methods), letting this
+// package compose observers without importing psim.
+type EngineObserver interface {
+	WindowStart(window int, start, end sim.Time)
+	ShardWindow(shard, window int, events uint64, outbox int, execute, wait time.Duration)
+	WindowEnd(window int, end sim.Time, messages int, exchange time.Duration)
+}
+
+// Multi composes observers into one: every hook fans out in argument
+// order. It returns nil for an empty list and the sole element for a
+// single-element list, so callers can build the part list conditionally
+// and attach the result directly.
+func Multi(parts ...EngineObserver) EngineObserver {
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		return parts[0]
+	}
+	return multi(parts)
+}
+
+type multi []EngineObserver
+
+func (m multi) WindowStart(window int, start, end sim.Time) {
+	for _, o := range m {
+		o.WindowStart(window, start, end)
+	}
+}
+
+func (m multi) ShardWindow(shard, window int, events uint64, outbox int, execute, wait time.Duration) {
+	for _, o := range m {
+		o.ShardWindow(shard, window, events, outbox, execute, wait)
+	}
+}
+
+func (m multi) WindowEnd(window int, end sim.Time, messages int, exchange time.Duration) {
+	for _, o := range m {
+		o.WindowEnd(window, end, messages, exchange)
+	}
+}
+
+// SyncWriter serializes writes onto one underlying writer. Heartbeat
+// lines and -progress cell lines from concurrently running experiment
+// cells share a stderr through one of these, so lines never interleave
+// mid-record.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w; a nil w yields a writer that discards.
+func NewSyncWriter(w io.Writer) *SyncWriter {
+	if w == nil {
+		w = io.Discard
+	}
+	return &SyncWriter{w: w}
+}
+
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

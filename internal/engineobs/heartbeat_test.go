@@ -1,0 +1,178 @@
+package engineobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"tcppr/internal/sim"
+)
+
+// fakeClock is a hand-cranked wall clock for the HeartbeatConfig.now seam.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func TestHeartbeatCadenceAndJSONL(t *testing.T) {
+	clock := newFakeClock()
+	s := sim.NewScheduler()
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	var text, jsonl bytes.Buffer
+	hb := NewHeartbeat(HeartbeatConfig{
+		Interval: time.Second,
+		Horizon:  sim.Time(20 * time.Millisecond),
+		Label:    "test",
+		Text:     &text,
+		JSONL:    &jsonl,
+		now:      clock.now,
+	}, s)
+
+	hb.Beat() // first beat starts the clocks; interval not yet elapsed
+	if hb.Beats() != 0 {
+		t.Fatalf("beat before interval emitted: %d", hb.Beats())
+	}
+	s.RunUntil(sim.Time(5 * time.Millisecond))
+	clock.advance(500 * time.Millisecond)
+	hb.Beat()
+	if hb.Beats() != 0 {
+		t.Fatalf("beat at 0.5s of a 1s interval emitted: %d", hb.Beats())
+	}
+	clock.advance(600 * time.Millisecond)
+	hb.Beat()
+	if hb.Beats() != 1 {
+		t.Fatalf("beat past the interval did not emit: %d", hb.Beats())
+	}
+	s.RunUntil(sim.Time(10 * time.Millisecond))
+	hb.Final()
+	if hb.Beats() != 2 {
+		t.Fatalf("Final did not emit: %d", hb.Beats())
+	}
+
+	lines := strings.Split(strings.TrimRight(text.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("text lines = %d, want 2:\n%s", len(lines), text.String())
+	}
+	if !strings.HasPrefix(lines[0], "test: sim ") {
+		t.Fatalf("label missing: %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], "(final)") {
+		t.Fatalf("final marker missing: %q", lines[1])
+	}
+
+	var beats []Beat
+	sc := bufio.NewScanner(bytes.NewReader(jsonl.Bytes()))
+	for sc.Scan() {
+		var b Beat
+		if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+			t.Fatalf("bad JSONL record %q: %v", sc.Text(), err)
+		}
+		beats = append(beats, b)
+	}
+	if len(beats) != 2 {
+		t.Fatalf("JSONL records = %d, want 2", len(beats))
+	}
+	first, final := beats[0], beats[1]
+	if first.Final || !final.Final {
+		t.Fatalf("final flags wrong: %+v / %+v", first, final)
+	}
+	if first.Events != 6 { // events at sim times 0..5ms inclusive
+		t.Fatalf("first beat events = %d, want 6", first.Events)
+	}
+	if final.Events != 10 || final.SimSeconds != 0.010 {
+		t.Fatalf("final beat = %+v, want 10 events at sim 0.010s", final)
+	}
+	if first.WallSeconds != 1.1 {
+		t.Fatalf("first beat wall = %g, want 1.1", first.WallSeconds)
+	}
+	if first.Progress != 0.25 { // 5ms of a 20ms horizon
+		t.Fatalf("first beat progress = %g, want 0.25", first.Progress)
+	}
+	if first.ETASeconds <= 0 {
+		t.Fatalf("ETA missing with horizon: %+v", first)
+	}
+	if first.EventsPerSec <= 0 {
+		t.Fatalf("events/s missing: %+v", first)
+	}
+	if len(first.ShardLag) != 0 {
+		t.Fatalf("single-scheduler run grew shard lag: %+v", first)
+	}
+}
+
+func TestHeartbeatShardLag(t *testing.T) {
+	clock := newFakeClock()
+	a, b := sim.NewScheduler(), sim.NewScheduler()
+	for i := 0; i < 8; i++ {
+		a.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	b.After(time.Millisecond, func() {})
+	var jsonl bytes.Buffer
+	hb := NewHeartbeat(HeartbeatConfig{Interval: time.Second, JSONL: &jsonl, now: clock.now}, a, b)
+	hb.Beat()
+	a.RunUntil(sim.Time(10 * time.Millisecond))
+	b.RunUntil(sim.Time(10 * time.Millisecond))
+	clock.advance(2 * time.Second)
+	hb.Beat()
+	var beat Beat
+	if err := json.Unmarshal(jsonl.Bytes(), &beat); err != nil {
+		t.Fatal(err)
+	}
+	// Shard a executed 8 events to b's 1: b lags by 7, a (busiest) by 0.
+	if len(beat.ShardLag) != 2 || beat.ShardLag[0] != 0 || beat.ShardLag[1] != 7 {
+		t.Fatalf("shard lag = %v, want [0 7]", beat.ShardLag)
+	}
+}
+
+func TestHeartbeatAttachPulsesAndSnapshot(t *testing.T) {
+	clock := newFakeClock()
+	s := sim.NewScheduler()
+	s.After(time.Second, func() {})
+	var jsonl bytes.Buffer
+	hb := NewHeartbeat(HeartbeatConfig{Interval: time.Millisecond, JSONL: &jsonl, now: clock.now}, s)
+	hb.Attach(s, 100*time.Millisecond)
+
+	// Every pulse advances the fake wall clock past the interval, so each
+	// virtual 100ms pulse after the first (which only starts the clocks)
+	// emits one record: pulses at 200..900ms are 8 guaranteed emits.
+	done := false
+	s.After(time.Second, func() { done = true })
+	for !done && s.Step() {
+		clock.advance(10 * time.Millisecond)
+	}
+	if hb.Beats() < 8 {
+		t.Fatalf("virtual pulse beat %d times over 1s at 100ms cadence, want >= 8", hb.Beats())
+	}
+
+	var buf bytes.Buffer
+	hb.WriteSnapshot(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "shard 0:") || !strings.Contains(out, "events executed") {
+		t.Fatalf("snapshot missing shard row: %q", out)
+	}
+
+	// Nil-receiver safety across the API.
+	var nilHB *Heartbeat
+	nilHB.Beat()
+	nilHB.Final()
+	nilHB.Attach(s, 0)
+	nilHB.SetWatchdog(nil)
+	nilHB.WriteSnapshot(&buf)
+	if nilHB.Beats() != 0 {
+		t.Fatal("nil heartbeat reported beats")
+	}
+}
+
+func TestHeartbeatSnapshotBeforeFirstBeat(t *testing.T) {
+	hb := NewHeartbeat(HeartbeatConfig{}, sim.NewScheduler())
+	var buf bytes.Buffer
+	hb.WriteSnapshot(&buf)
+	if !strings.Contains(buf.String(), "no beat emitted yet") {
+		t.Fatalf("empty snapshot message missing: %q", buf.String())
+	}
+}

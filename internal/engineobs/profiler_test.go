@@ -1,0 +1,150 @@
+package engineobs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"tcppr/internal/sim"
+	"tcppr/internal/span"
+)
+
+// feedWindow pushes one synthetic barrier window through the observer
+// hooks: per-shard (events, execute, wait) triples, then the exchange.
+func feedWindow(p *Profiler, window int, start, end sim.Time, shards [][3]int64, messages int) {
+	p.WindowStart(window, start, end)
+	for s, t := range shards {
+		p.ShardWindow(s, window, uint64(t[0]), 1, time.Duration(t[1]), time.Duration(t[2]))
+	}
+	p.WindowEnd(window, end, messages, 5*time.Microsecond)
+}
+
+func TestProfilerSummaryAndTSV(t *testing.T) {
+	p := NewProfiler(2)
+	us := int64(time.Microsecond)
+	// Shard 0 does 4x the events and wall work of shard 1 in both windows.
+	feedWindow(p, 0, 0, sim.Time(time.Millisecond), [][3]int64{
+		{400, 80 * us, 0}, {100, 20 * us, 60 * us},
+	}, 3)
+	feedWindow(p, 1, sim.Time(time.Millisecond), sim.Time(2*time.Millisecond), [][3]int64{
+		{400, 80 * us, 0}, {100, 20 * us, 60 * us},
+	}, 2)
+
+	s := p.Summary(1.5)
+	if s.Shards != 2 || s.Windows != 2 || s.Events != 1000 {
+		t.Fatalf("summary totals wrong: %+v", s)
+	}
+	if s.CrossShardMsgs != 5 {
+		t.Fatalf("cross-shard msgs = %d, want 5", s.CrossShardMsgs)
+	}
+	if s.EventsRatio != 4 || s.BusyRatio != 4 {
+		t.Fatalf("ratios = %g/%g, want 4/4", s.EventsRatio, s.BusyRatio)
+	}
+	if s.Straggler != 0 {
+		t.Fatalf("straggler = %d, want shard 0", s.Straggler)
+	}
+	if len(s.PerShard) != 2 || s.PerShard[0].Events != 800 {
+		t.Fatalf("per-shard breakdown wrong: %+v", s.PerShard)
+	}
+	if s.PerShard[1].BusyShare < 0.2 || s.PerShard[1].BusyShare > 0.3 {
+		t.Fatalf("shard 1 busy share = %g, want 20/80 = 0.25", s.PerShard[1].BusyShare)
+	}
+
+	// A generous threshold sees the same ratios but flags nobody.
+	if s := p.Summary(5); s.Straggler != -1 {
+		t.Fatalf("threshold 5: straggler = %d, want -1", s.Straggler)
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 { // header + 2 windows x 2 shards
+		t.Fatalf("TSV has %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "window\tshard\t") {
+		t.Fatalf("TSV header missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0\t0\t") || !strings.Contains(lines[1], "\t400\t") {
+		t.Fatalf("first row wrong: %q", lines[1])
+	}
+}
+
+func TestProfilerChromeTraceValidates(t *testing.T) {
+	p := NewProfiler(2)
+	us := int64(time.Microsecond)
+	for w := 0; w < 3; w++ {
+		at := sim.Time(w) * sim.Time(time.Millisecond)
+		feedWindow(p, w, at, at+sim.Time(time.Millisecond), [][3]int64{
+			{10, 5 * us, 0}, {8, 4 * us, us},
+		}, w)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := span.ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("engine trace does not validate: %v", err)
+	}
+	// 3 process metadata + 6 window spans + 3 barrier instants + 3 counters.
+	if n != 15 {
+		t.Fatalf("validated %d events, want 15", n)
+	}
+	out := buf.String()
+	for _, want := range []string{`"psim engine"`, `"shard 0"`, `"shard 1"`, `"window 0"`, `"barrier"`, `"cross-shard msgs"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+}
+
+func TestProfilerMaxWindowsKeepsAggregates(t *testing.T) {
+	p := NewProfiler(1)
+	p.SetMaxWindows(2)
+	for w := 0; w < 10; w++ {
+		at := sim.Time(w) * sim.Time(time.Millisecond)
+		feedWindow(p, w, at, at+sim.Time(time.Millisecond), [][3]int64{{5, 1000, 0}}, 0)
+	}
+	s := p.Summary(0)
+	if s.Windows != 10 || s.RetainedWindows != 2 {
+		t.Fatalf("windows %d retained %d, want 10/2", s.Windows, s.RetainedWindows)
+	}
+	if s.Events != 50 {
+		t.Fatalf("aggregate events = %d, want 50 (must survive truncation)", s.Events)
+	}
+}
+
+func TestProfilerDiagnosticsNilSafe(t *testing.T) {
+	var p *Profiler
+	var buf bytes.Buffer
+	p.WriteDiagnostics(&buf) // must not panic
+	if buf.Len() != 0 {
+		t.Fatalf("nil profiler wrote %q", buf.String())
+	}
+	p = NewProfiler(1)
+	feedWindow(p, 0, 0, sim.Time(time.Millisecond), [][3]int64{{7, 1000, 0}}, 0)
+	p.WriteDiagnostics(&buf)
+	if !strings.Contains(buf.String(), "last window 0") || !strings.Contains(buf.String(), "events 7") {
+		t.Fatalf("diagnostics missing last-window row: %q", buf.String())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewProfiler(1), NewProfiler(1)
+	if Multi() != nil {
+		t.Fatal("empty Multi should be nil")
+	}
+	if Multi(a) != EngineObserver(a) {
+		t.Fatal("single Multi should be the part itself")
+	}
+	m := Multi(a, b)
+	m.WindowStart(0, 0, sim.Time(time.Millisecond))
+	m.ShardWindow(0, 0, 3, 0, time.Microsecond, 0)
+	m.WindowEnd(0, sim.Time(time.Millisecond), 0, 0)
+	if a.Summary(0).Events != 3 || b.Summary(0).Events != 3 {
+		t.Fatal("fan-out did not reach both observers")
+	}
+}

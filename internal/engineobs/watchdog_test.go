@@ -1,0 +1,139 @@
+package engineobs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tcppr/internal/sim"
+)
+
+// stallRecorder captures a watchdog's output and OnStall firing without
+// exiting the process.
+type stallRecorder struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	ch  chan struct{}
+}
+
+func newStallRecorder() *stallRecorder { return &stallRecorder{ch: make(chan struct{})} }
+
+func (r *stallRecorder) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.buf.Write(p)
+}
+
+func (r *stallRecorder) onStall() { close(r.ch) }
+
+func (r *stallRecorder) output() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.buf.String()
+}
+
+func waitStall(t *testing.T, r *stallRecorder) {
+	t.Helper()
+	select {
+	case <-r.ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not declare a stall in time")
+	}
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	rec := newStallRecorder()
+	wd := NewWatchdog(WatchdogConfig{
+		Timeout: 20 * time.Millisecond,
+		Out:     rec,
+		OnStall: rec.onStall,
+		poll:    time.Millisecond,
+	})
+	wd.Note(100) // progress before Start; the clock rearms at Start anyway
+	wd.Start()
+	waitStall(t, rec)
+	if !wd.Stalled() {
+		t.Fatal("Stalled() false after stall fired")
+	}
+	out := rec.output()
+	if !strings.Contains(out, "no simulation progress") || !strings.Contains(out, "events executed: 100") {
+		t.Fatalf("stall bundle incomplete: %q", out)
+	}
+	wd.Stop() // must not deadlock after a stall ended the loop
+}
+
+func TestWatchdogProgressKeepsAlive(t *testing.T) {
+	rec := newStallRecorder()
+	wd := NewWatchdog(WatchdogConfig{
+		Timeout: 60 * time.Millisecond,
+		Out:     rec,
+		OnStall: rec.onStall,
+		poll:    5 * time.Millisecond,
+	})
+	wd.Start()
+	// Keep advancing the event total for several timeouts' worth of wall
+	// time; the watchdog must stay quiet.
+	for i := uint64(1); i <= 20; i++ {
+		wd.Note(i)
+		time.Sleep(10 * time.Millisecond)
+	}
+	if wd.Stalled() {
+		t.Fatal("watchdog stalled despite steady progress")
+	}
+	wd.Stop()
+	wd.Stop() // idempotent
+	if got := rec.output(); got != "" {
+		t.Fatalf("quiet watchdog wrote %q", got)
+	}
+}
+
+func TestWatchdogBundleIncludesDiagnostics(t *testing.T) {
+	s := sim.NewScheduler()
+	s.After(time.Millisecond, func() {})
+	s.RunUntil(sim.Time(time.Millisecond))
+	clock := newFakeClock()
+	hb := NewHeartbeat(HeartbeatConfig{Interval: time.Millisecond, now: clock.now}, s)
+	hb.Beat()
+	clock.advance(time.Second)
+	hb.Beat() // emitted: refreshes the snapshot
+
+	prof := NewProfiler(1)
+	feedWindow(prof, 0, 0, sim.Time(time.Millisecond), [][3]int64{{9, 1000, 0}}, 0)
+
+	rec := newStallRecorder()
+	wd := NewWatchdog(WatchdogConfig{
+		Timeout:  10 * time.Millisecond,
+		Out:      rec,
+		OnStall:  rec.onStall,
+		Diagnose: Diagnostics(hb, prof),
+		poll:     time.Millisecond,
+	})
+	hb.SetWatchdog(wd)
+	wd.Start()
+	waitStall(t, rec)
+	wd.Stop()
+	out := rec.output()
+	for _, want := range []string{"heartbeat: last beat", "shard 0: now", "profiler:", "events 9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bundle missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchdogNilSafeAndValidation(t *testing.T) {
+	var wd *Watchdog
+	wd.Note(1)
+	wd.Start()
+	wd.Stop()
+	if wd.Stalled() {
+		t.Fatal("nil watchdog stalled")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWatchdog accepted a zero timeout")
+		}
+	}()
+	NewWatchdog(WatchdogConfig{})
+}

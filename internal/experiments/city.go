@@ -23,6 +23,9 @@ type CityConfig struct {
 	SourcesPerHost int
 	// CheckInvariants arms the per-shard conformance checkers.
 	CheckInvariants bool
+	// Engine, when enabled, arms the internal/engineobs telemetry stack
+	// (window profiler, heartbeat, watchdog) on every cell.
+	Engine *EngineOptions
 }
 
 // CityScalingResult is the sweep outcome, one CityResult per shard count
@@ -33,19 +36,23 @@ type CityScalingResult struct {
 }
 
 // RunCityScaling runs the city cell once per shard count.
-func RunCityScaling(cfg CityConfig) CityScalingResult {
+func RunCityScaling(cfg CityConfig) (CityScalingResult, error) {
 	res := CityScalingResult{Cfg: cfg}
 	for _, shards := range cfg.ShardCounts {
-		res.Runs = append(res.Runs, psim.RunCity(psim.CityRun{
+		run, err := runCityCell(psim.CityRun{
 			City:            cfg.City,
 			Shards:          shards,
 			Seed:            cfg.Seed,
 			Horizon:         cfg.Horizon,
 			SourcesPerHost:  cfg.SourcesPerHost,
 			CheckInvariants: cfg.CheckInvariants,
-		}))
+		}, cfg.Engine)
+		if err != nil {
+			return res, fmt.Errorf("city %d shards: %w", shards, err)
+		}
+		res.Runs = append(res.Runs, run)
 	}
-	return res
+	return res, nil
 }
 
 // Table renders the scaling sweep. Speedup is relative to the slowest

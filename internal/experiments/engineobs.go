@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tcppr/internal/engineobs"
+	"tcppr/internal/psim"
+	"tcppr/internal/sim"
+)
+
+// EngineOptions arms the internal/engineobs telemetry stack on the
+// experiments that drive the parallel engine (currently the city scaling
+// sweep): the per-shard window profiler, a live heartbeat, and a stall
+// watchdog. The zero/nil value disables everything.
+type EngineOptions struct {
+	// Profile attaches the window profiler and, with Dir set, writes
+	// <cell>.engine.tsv (per-window rows), <cell>.engine.json (imbalance
+	// summary), and <cell>.engine.trace.json (Perfetto shard lanes).
+	Profile bool
+	// Heartbeat, when positive, emits progress beats at that wall-clock
+	// interval to Text and, with Dir set, one <cell>.heartbeat.jsonl.
+	Heartbeat time.Duration
+	// WatchdogTimeout, when positive, aborts a cell that makes no
+	// simulation progress for that long, dumping diagnostics first.
+	WatchdogTimeout time.Duration
+	// Dir receives the artifact files ("" keeps telemetry in-memory).
+	Dir string
+	// Text receives the heartbeat's human-readable lines (nil: none).
+	Text io.Writer
+}
+
+func (e *EngineOptions) enabled() bool {
+	return e != nil && (e.Profile || e.Heartbeat > 0 || e.WatchdogTimeout > 0)
+}
+
+// runCityCell runs one shard-count cell of the city sweep under the
+// telemetry described by e; with e disabled it is exactly psim.RunCity.
+func runCityCell(cfg psim.CityRun, e *EngineOptions) (psim.CityResult, error) {
+	if !e.enabled() {
+		return psim.RunCity(cfg), nil
+	}
+	name := fmt.Sprintf("city_%dshard", cfg.Shards)
+	eng, st := psim.BuildCity(cfg)
+	scheds := make([]*sim.Scheduler, 0, len(eng.Shards()))
+	for _, sh := range eng.Shards() {
+		scheds = append(scheds, sh.Sched)
+	}
+
+	var hb *engineobs.Heartbeat
+	var jsonl *os.File
+	if e.Heartbeat > 0 || e.WatchdogTimeout > 0 {
+		hcfg := engineobs.HeartbeatConfig{
+			Interval: e.Heartbeat, Horizon: sim.Time(cfg.Horizon),
+			Label: name, Text: e.Text,
+		}
+		if e.Heartbeat <= 0 {
+			// Watchdog-only: quiet beats keep its progress clock fresh.
+			hcfg.Interval, hcfg.Text = e.WatchdogTimeout/2, nil
+		} else if e.Dir != "" {
+			f, err := os.Create(filepath.Join(e.Dir, name+".heartbeat.jsonl"))
+			if err != nil {
+				return psim.CityResult{}, err
+			}
+			jsonl = f
+			hcfg.JSONL = f
+		}
+		hb = engineobs.NewHeartbeat(hcfg, scheds...)
+	}
+	var prof *engineobs.Profiler
+	if e.Profile {
+		prof = engineobs.NewProfiler(len(scheds))
+	}
+	var wd *engineobs.Watchdog
+	if e.WatchdogTimeout > 0 {
+		wd = engineobs.NewWatchdog(engineobs.WatchdogConfig{
+			Timeout:  e.WatchdogTimeout,
+			Diagnose: engineobs.Diagnostics(hb, prof),
+		})
+		hb.SetWatchdog(wd)
+	}
+
+	var parts []engineobs.EngineObserver
+	if prof != nil {
+		parts = append(parts, prof)
+	}
+	if hb != nil {
+		if len(scheds) > 1 {
+			parts = append(parts, hb) // beat at every barrier window
+		} else {
+			hb.Attach(scheds[0], 0) // 1 shard = 1 window; pulse on a timer
+		}
+	}
+	if obs := engineobs.Multi(parts...); obs != nil {
+		eng.SetObserver(obs)
+	}
+
+	wd.Start()
+	t0 := time.Now()
+	eng.Run(sim.Time(cfg.Horizon))
+	wall := time.Since(t0)
+	wd.Stop()
+	hb.Final()
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			return psim.CityResult{}, err
+		}
+	}
+	if prof != nil && e.Dir != "" {
+		if err := writeEngineProfile(prof, e.Dir, name); err != nil {
+			return psim.CityResult{}, err
+		}
+	}
+	return st.Finish(wall), nil
+}
+
+// writeEngineProfile exports one cell's window profile as TSV, summary
+// JSON, and a Perfetto trace.
+func writeEngineProfile(prof *engineobs.Profiler, dir, name string) error {
+	exports := []struct {
+		suffix string
+		write  func(io.Writer) error
+	}{
+		{".engine.tsv", prof.WriteTSV},
+		{".engine.json", func(w io.Writer) error { return prof.WriteSummaryJSON(w, 0) }},
+		{".engine.trace.json", prof.WriteChromeTrace},
+	}
+	for _, ex := range exports {
+		f, err := os.Create(filepath.Join(dir, name+ex.suffix))
+		if err != nil {
+			return err
+		}
+		if err := ex.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxWorkers caps the parallelMap worker pool; 0 means "use GOMAXPROCS".
@@ -29,6 +30,24 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// progressFn, when non-nil, receives one line per parallelMap cell start
+// and completion. Stored behind an atomic pointer: SetProgress is called
+// once before the runs, but cells report from worker goroutines.
+var progressFn atomic.Pointer[func(format string, args ...any)]
+
+// SetProgress installs a per-cell progress sink (the CLI's -progress
+// flag): every parallelMap cell logs a "start" and a "done" line through
+// fn, which must be safe for concurrent use (wrap a shared writer in
+// engineobs.NewSyncWriter). nil disables, the default — unset, the cell
+// loop takes no clock readings at all.
+func SetProgress(fn func(format string, args ...any)) {
+	if fn == nil {
+		progressFn.Store(nil)
+		return
+	}
+	progressFn.Store(&fn)
+}
+
 // parallelMap runs fn(i) for i in [0, n) across a bounded worker pool and
 // returns the results in index order. Every experiment cell builds its own
 // scheduler and network, so cells are fully independent and embarrassingly
@@ -38,6 +57,16 @@ func Parallelism() int {
 func parallelMap[T any](n int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
+	}
+	if p := progressFn.Load(); p != nil {
+		inner := fn
+		fn = func(i int) T {
+			(*p)("cell %d/%d start", i+1, n)
+			t0 := time.Now()
+			out := inner(i)
+			(*p)("cell %d/%d done in %.1fs", i+1, n, time.Since(t0).Seconds())
+			return out
+		}
 	}
 	workers := Parallelism()
 	if workers > n {

@@ -51,6 +51,11 @@ type RunConfig struct {
 	// default {none, repair, repair-tight} sweep. Experiments without a
 	// middlebox axis ignore it.
 	Repair string
+	// Engine, when non-nil and enabled, arms the internal/engineobs
+	// telemetry stack (per-shard window profiler, live heartbeat, stall
+	// watchdog) on the experiments that drive the parallel engine —
+	// currently the city scaling sweep; others ignore it.
+	Engine *EngineOptions
 	// Trace, when non-nil, attaches the internal/span causal tracer to
 	// every simulation cell that plumbs it (currently faultmatrix),
 	// exporting per-cell Perfetto traces and span TSVs — plus flight dumps
@@ -391,7 +396,11 @@ var specs = []Spec{
 			if cfg.Shards > 0 {
 				c.ShardCounts = []int{cfg.Shards}
 			}
-			res := RunCityScaling(c)
+			c.Engine = cfg.Engine
+			res, err := RunCityScaling(c)
+			if err != nil {
+				return nil, err
+			}
 			for i, run := range res.Runs {
 				if run.Violations > 0 {
 					return nil, fmt.Errorf("city: %d invariant violation(s) at %d shards",

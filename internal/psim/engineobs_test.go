@@ -1,0 +1,142 @@
+package psim
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"tcppr/internal/engineobs"
+	"tcppr/internal/sim"
+	"tcppr/internal/topo"
+)
+
+// TestEngineObsDoesNotPerturbDynamics pins the telemetry stack's
+// zero-perturbation guarantee on the parallel engine: a city run with a
+// profiler, a heartbeat, and an armed watchdog attached must finish with
+// a per-flow ledger string-identical to the unobserved run. The observer
+// hooks fire between windows on the coordinator goroutine and read only
+// counters, so any divergence here means telemetry leaked into the
+// simulation.
+func TestEngineObsDoesNotPerturbDynamics(t *testing.T) {
+	city := topo.CityConfig{Districts: 4, HostsPerDistrict: 2}
+	run := func(observe bool) (CityResult, string) {
+		eng, st := BuildCity(CityRun{
+			City: city, Shards: 4, Seed: 47, Horizon: testHorizon,
+		})
+		var wd *engineobs.Watchdog
+		if observe {
+			prof := engineobs.NewProfiler(len(eng.Shards()))
+			scheds := make([]*sim.Scheduler, 0, len(eng.Shards()))
+			for _, sh := range eng.Shards() {
+				scheds = append(scheds, sh.Sched)
+			}
+			hb := engineobs.NewHeartbeat(engineobs.HeartbeatConfig{
+				Interval: time.Nanosecond, // emit at every window
+				Horizon:  sim.Time(testHorizon),
+				Text:     io.Discard,
+				JSONL:    io.Discard,
+			}, scheds...)
+			wd = engineobs.NewWatchdog(engineobs.WatchdogConfig{
+				Timeout: time.Hour,
+				Out:     io.Discard,
+				OnStall: func() { t.Error("watchdog fired during a healthy run") },
+			})
+			hb.SetWatchdog(wd)
+			eng.SetObserver(engineobs.Multi(prof, hb))
+			wd.Start()
+		}
+		eng.Run(sim.Time(testHorizon))
+		if wd != nil {
+			wd.Stop()
+		}
+		return st.Finish(0), perFlowLedger(st)
+	}
+	plainRes, plain := run(false)
+	obsRes, observed := run(true)
+	if plainRes.Transfers == 0 || plainRes.BulkBytes == 0 {
+		t.Fatalf("degenerate reference run: %+v", plainRes)
+	}
+	if plainRes.Events != obsRes.Events {
+		t.Errorf("event counts diverged: %d unobserved, %d observed", plainRes.Events, obsRes.Events)
+	}
+	if plain != observed {
+		t.Errorf("telemetry perturbed the per-flow ledgers:\n%s", ledgerDiff(plain, observed))
+	}
+}
+
+// TestEngineProfilerBalancedCity: a symmetric city split across as many
+// shards as districts gives every shard an identical workload, so the
+// deterministic events ratio must sit near 1 and the profiler's totals
+// must agree with the engine's.
+func TestEngineProfilerBalancedCity(t *testing.T) {
+	eng, st := BuildCity(CityRun{
+		City:   topo.CityConfig{Districts: 4, HostsPerDistrict: 2},
+		Shards: 4, Seed: 47, Horizon: testHorizon,
+	})
+	prof := engineobs.NewProfiler(len(eng.Shards()))
+	eng.SetObserver(prof)
+	eng.Run(sim.Time(testHorizon))
+	res := st.Finish(0)
+
+	s := prof.Summary(0)
+	if s.Windows == 0 {
+		t.Fatal("profiler saw no windows")
+	}
+	if s.Events != res.Events {
+		t.Fatalf("profiler counted %d events, engine %d", s.Events, res.Events)
+	}
+	if s.EventsRatio >= 1.25 {
+		t.Errorf("symmetric city events ratio = %.3f, want < 1.25", s.EventsRatio)
+	}
+	if s.CrossShardMsgs == 0 {
+		t.Error("no cross-shard messages profiled on a ring city")
+	}
+	for _, sh := range s.PerShard {
+		if sh.Events == 0 {
+			t.Errorf("shard %d profiled zero events", sh.Shard)
+		}
+	}
+}
+
+// TestEngineProfilerFlagsStraggler: three districts on two shards puts
+// two districts' workload on one shard — an events ratio near 2 — and a
+// backbone skew makes the partition even less even. The profiler must
+// flag exactly the shard holding two districts.
+func TestEngineProfilerFlagsStraggler(t *testing.T) {
+	eng, st := BuildCity(CityRun{
+		City: topo.CityConfig{Districts: 3, HostsPerDistrict: 2,
+			BackboneSkew: 100*time.Microsecond + time.Nanosecond},
+		Shards: 2, Seed: 47, Horizon: testHorizon,
+	})
+	// Find the shard that owns two of the three district routers: that is
+	// the straggler by construction.
+	counts := make(map[int]int)
+	for d := 0; d < 3; d++ {
+		counts[eng.ShardOf(topo.CityRouter(d)).Index]++
+	}
+	expected := -1
+	for shard, n := range counts {
+		if n == 2 {
+			expected = shard
+		}
+	}
+	if expected < 0 {
+		t.Fatalf("partition did not split 2+1: %v", counts)
+	}
+
+	prof := engineobs.NewProfiler(len(eng.Shards()))
+	eng.SetObserver(prof)
+	eng.Run(sim.Time(testHorizon))
+	if res := st.Finish(0); res.Transfers == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+
+	s := prof.Summary(1.5)
+	if s.EventsRatio < 1.5 {
+		t.Fatalf("2+1 district split events ratio = %.3f, want >= 1.5", s.EventsRatio)
+	}
+	if s.Straggler != expected {
+		t.Errorf("straggler = shard %d, want shard %d (the one holding two districts); summary %+v",
+			s.Straggler, expected, s)
+	}
+}

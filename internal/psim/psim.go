@@ -110,6 +110,50 @@ type Engine struct {
 	shards    []*Shard
 	crossings map[linkName]*crossing
 	window    time.Duration
+
+	obs      EngineObserver
+	obsTimes []shardTiming // scratch, one entry per shard, reused every window
+}
+
+// EngineObserver receives wall-clock telemetry from the barrier-window run
+// loop. The engine calls it only between windows, on the coordinating
+// goroutine, so implementations need no internal locking against the
+// simulation itself (only against their own readers). When no observer is
+// attached the loop takes no timestamps at all — the event hot path is
+// identical to an unobserved run.
+//
+// internal/engineobs implements this interface structurally (its Profiler
+// and Heartbeat use only sim and time types), so psim carries no
+// dependency on the telemetry layer.
+type EngineObserver interface {
+	// WindowStart announces the window about to run: its index and the
+	// half-open virtual interval (start, end].
+	WindowStart(window int, start, end sim.Time)
+	// ShardWindow reports one shard's completed window: events executed,
+	// outbox size (cross-boundary emissions awaiting exchange), wall time
+	// spent executing events, and wall time spent waiting at the barrier
+	// for the slowest shard.
+	ShardWindow(shard, window int, events uint64, outbox int, execute, wait time.Duration)
+	// WindowEnd closes the window after the barrier exchange: the number
+	// of cross-boundary messages routed and the exchange's wall time.
+	WindowEnd(window int, end sim.Time, messages int, exchange time.Duration)
+}
+
+// shardTiming is the per-shard scratch the run loop fills while an
+// observer is attached. Each shard goroutine writes only its own entry;
+// wg.Wait orders those writes before the coordinator reads them.
+type shardTiming struct {
+	start, finish time.Time
+	events        uint64
+}
+
+// SetObserver attaches (or, with nil, detaches) a telemetry observer. Call
+// it before Run; the engine does not synchronize against mid-run swaps.
+func (e *Engine) SetObserver(obs EngineObserver) {
+	e.obs = obs
+	if obs != nil && e.obsTimes == nil {
+		e.obsTimes = make([]shardTiming, len(e.shards))
+	}
 }
 
 type linkName struct{ from, to string }
@@ -275,25 +319,62 @@ func (e *Engine) Run(horizon sim.Time) {
 	if w == 0 || len(e.shards) == 1 {
 		w = horizon
 	}
-	for start := sim.Time(0); start < horizon; {
+	window := 0
+	for start := sim.Time(0); start < horizon; window++ {
 		end := start + w
 		if end > horizon {
 			end = horizon
 		}
+		if e.obs != nil {
+			e.obs.WindowStart(window, start, end)
+		}
 		if len(e.shards) == 1 {
-			e.shards[0].runWindow(end)
+			if e.obs == nil {
+				e.shards[0].runWindow(end)
+			} else {
+				e.shards[0].runWindowTimed(end, &e.obsTimes[0])
+			}
 		} else {
 			var wg sync.WaitGroup
-			for _, sh := range e.shards {
+			for i, sh := range e.shards {
 				wg.Add(1)
-				go func(sh *Shard) {
+				if e.obs == nil {
+					go func(sh *Shard) {
+						defer wg.Done()
+						sh.runWindow(end)
+					}(sh)
+					continue
+				}
+				go func(sh *Shard, t *shardTiming) {
 					defer wg.Done()
-					sh.runWindow(end)
-				}(sh)
+					sh.runWindowTimed(end, t)
+				}(sh, &e.obsTimes[i])
 			}
 			wg.Wait()
 		}
+		var messages int
+		var exchStart time.Time
+		if e.obs != nil {
+			// The barrier clears when the slowest shard finishes; every
+			// other shard's wait is the gap back to its own finish.
+			barrier := e.obsTimes[0].finish
+			for i := 1; i < len(e.shards); i++ {
+				if e.obsTimes[i].finish.After(barrier) {
+					barrier = e.obsTimes[i].finish
+				}
+			}
+			for i, sh := range e.shards {
+				t := &e.obsTimes[i]
+				e.obs.ShardWindow(i, window, t.events, len(sh.outbox),
+					t.finish.Sub(t.start), barrier.Sub(t.finish))
+				messages += len(sh.outbox)
+			}
+			exchStart = time.Now()
+		}
 		e.exchange()
+		if e.obs != nil {
+			e.obs.WindowEnd(window, end, messages, time.Since(exchStart))
+		}
 		start = end
 	}
 }
@@ -308,6 +389,18 @@ func (sh *Shard) runWindow(end sim.Time) {
 	}
 	sh.inbox = sh.inbox[:0]
 	sh.Sched.RunUntil(end)
+}
+
+// runWindowTimed is runWindow bracketed by the observer's wall-clock
+// bookkeeping: its own start/finish stamps (goroutine scheduling delay
+// lands in the barrier wait of whichever shard started late, not in its
+// execute time) and the events-executed delta.
+func (sh *Shard) runWindowTimed(end sim.Time, t *shardTiming) {
+	before := sh.Sched.Processed()
+	t.start = time.Now()
+	sh.runWindow(end)
+	t.finish = time.Now()
+	t.events = sh.Sched.Processed() - before
 }
 
 // exchange routes every shard's outbox to the destination inboxes in

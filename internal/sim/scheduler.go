@@ -137,6 +137,18 @@ func (s *Scheduler) Processed() uint64 { return s.processed }
 // events awaiting reuse). It exists for pool tests and capacity planning.
 func (s *Scheduler) FreeListLen() int { return len(s.free) }
 
+// NextAt reports the timestamp of the next pending event and whether one
+// exists. It exists for diagnostics — a stall watchdog distinguishing "the
+// queue drained" from "a shard is stuck waiting at a barrier" — and, like
+// every Scheduler method, may only be called from the goroutine running
+// the scheduler.
+func (s *Scheduler) NextAt() (Time, bool) {
+	if e := s.peek(); e != nil {
+		return e.at, true
+	}
+	return 0, false
+}
+
 // schedule takes an event off the free list (or allocates one), fills it,
 // and pushes it onto the heap. Bumping the generation at allocation time
 // invalidates every handle to the event's previous occupancy.

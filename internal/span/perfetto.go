@@ -22,7 +22,8 @@ type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"` // microseconds
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds ("X" complete events only)
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	ID   string         `json:"id,omitempty"`
@@ -192,6 +193,13 @@ func WriteChromeTrace(w io.Writer, events []Event, labels *Collector) error {
 	}
 
 	sortChromeEvents(out)
+	return encodeChromeTrace(w, out)
+}
+
+// encodeChromeTrace writes the shared file wrapper; WriteChromeTrace and
+// TraceBuilder.Write both end here so every exported trace has identical
+// framing.
+func encodeChromeTrace(w io.Writer, out []chromeEvent) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
 }
